@@ -1,0 +1,74 @@
+"""Ablations over the machine structures PRI interacts with.
+
+* **Checkpoint capacity** — PRI's ckptcount policy pins registers while
+  shadow maps live; fewer checkpoints also stall rename at branches.
+* **Scheduler size** — the paper contrasts a 32-entry scheduler (4-wide,
+  "current generation") with a 512-entry one (8-wide, "future"): the
+  small scheduler masks register-file pressure, which is why 4-wide
+  speedups are smaller (Section 5.2's discussion of issue-queue limits).
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.config import four_wide
+from repro.core.machine import simulate
+from repro.experiments.report import format_table
+
+_BENCH = "gzip"
+
+
+def _ckpt_sweep(spec, traces):
+    trace = traces.get(_BENCH, spec)
+    rows = []
+    ipcs = {}
+    for capacity in (4, 8, 16, 64):
+        cfg = dataclasses.replace(four_wide(), max_checkpoints=capacity)
+        stats = simulate(cfg.with_pri(), trace)
+        ipcs[capacity] = stats.ipc
+        rows.append((capacity, stats.ipc, stats.rename_stall_other))
+    table = format_table(
+        f"{_BENCH}: PRI vs checkpoint capacity (4-wide)",
+        ("checkpoints", "IPC", "rename stalls"),
+        rows,
+    )
+    return ipcs, table
+
+
+def test_checkpoint_capacity(benchmark, spec, traces):
+    ipcs, table = run_once(benchmark, _ckpt_sweep, spec, traces)
+    print()
+    print(table)
+    # More checkpoints never hurt; the default (64) is the best point.
+    assert ipcs[64] >= ipcs[4] * 0.995
+    assert ipcs[64] >= ipcs[8] * 0.995
+
+
+def _sched_sweep(spec, traces):
+    trace = traces.get(_BENCH, spec)
+    rows = []
+    gains = {}
+    for entries in (16, 32, 128, 512):
+        cfg = dataclasses.replace(four_wide(), scheduler_entries=entries)
+        base = simulate(cfg, trace)
+        pri = simulate(cfg.with_pri(), trace)
+        gains[entries] = pri.ipc / base.ipc
+        rows.append((entries, base.ipc, pri.ipc, gains[entries]))
+    table = format_table(
+        f"{_BENCH}: PRI gain vs scheduler size (4-wide)",
+        ("sched entries", "base IPC", "PRI IPC", "speedup"),
+        rows,
+    )
+    return gains, table
+
+
+def test_scheduler_size(benchmark, spec, traces):
+    gains, table = run_once(benchmark, _sched_sweep, spec, traces)
+    print()
+    print(table)
+    # Section 5.2: with the issue-queue limit removed, limited physical
+    # registers become the bottleneck — PRI's gain grows with scheduler
+    # size.
+    assert gains[512] >= gains[16] - 0.01
+    assert all(g >= 0.98 for g in gains.values())

@@ -1,0 +1,89 @@
+"""Future-work extensions from the paper's Section 6, as benchmarks.
+
+* **Virtual-physical registers** (delayed allocation, refs [7]/[17]):
+  how PRI interacts with allocating physical registers at issue rather
+  than rename.
+* **Load-immediate dead-register hints**: the compiler marks a register
+  dead by writing a narrow immediate; the hardware inlines it at rename
+  and never allocates a register.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.config import four_wide
+from repro.core.machine import simulate
+from repro.experiments.report import format_table
+
+_BENCHMARKS = ("gzip", "twolf")
+
+
+def _vp_sweep(spec, traces):
+    rows, results = [], {}
+    for name in _BENCHMARKS:
+        trace = traces.get(name, spec)
+        for regs in (40, 64):
+            cfg = dataclasses.replace(four_wide(), int_phys_regs=regs,
+                                      fp_phys_regs=regs)
+            base = simulate(cfg, trace)
+            vp = simulate(cfg.with_virtual_physical(), trace)
+            pri = simulate(cfg.with_pri(), trace)
+            both = simulate(cfg.with_virtual_physical().with_pri(), trace)
+            results[(name, regs)] = {
+                "base": base, "vp": vp, "pri": pri, "both": both,
+            }
+            rows.append((
+                f"{name}/{regs}r",
+                base.ipc,
+                vp.ipc / base.ipc,
+                pri.ipc / base.ipc,
+                both.ipc / base.ipc,
+            ))
+    table = format_table(
+        "virtual-physical allocation x PRI (4-wide)",
+        ("bench/regs", "base IPC", "VP", "PRI", "VP+PRI"),
+        rows,
+    )
+    return results, table
+
+
+def test_virtual_physical(benchmark, spec, traces):
+    results, table = run_once(benchmark, _vp_sweep, spec, traces)
+    print()
+    print(table)
+    for name in _BENCHMARKS:
+        starved = results[(name, 40)]
+        # Delayed allocation pays off when registers are scarce...
+        assert starved["vp"].ipc >= starved["base"].ipc * 0.99, name
+        # ...and composes with PRI.
+        assert starved["both"].ipc >= starved["pri"].ipc * 0.97, name
+        # The allocate->write lifetime phase is what VP removes.
+        assert (starved["vp"].lifetime("int").avg_alloc_to_write
+                < starved["base"].lifetime("int").avg_alloc_to_write), name
+
+
+def _li_sweep(spec, traces):
+    rows, results = [], {}
+    for name in _BENCHMARKS:
+        trace = traces.get(name, spec)
+        cfg = dataclasses.replace(four_wide(), int_phys_regs=48, fp_phys_regs=48)
+        pri = simulate(cfg.with_pri(), trace)
+        li = simulate(cfg.with_pri(inline_on_load_immediate=True), trace)
+        results[name] = (pri, li)
+        rows.append((name, pri.ipc, li.ipc, li.ipc / pri.ipc, li.inlined))
+    table = format_table(
+        "load-immediate dead-register hint (4-wide, 48 registers)",
+        ("benchmark", "PRI IPC", "PRI+hint IPC", "ratio", "inlined"),
+        rows,
+    )
+    return results, table
+
+
+def test_load_immediate_hint(benchmark, spec, traces):
+    results, table = run_once(benchmark, _li_sweep, spec, traces)
+    print()
+    print(table)
+    for name, (pri, li) in results.items():
+        assert li.ipc >= pri.ipc * 0.98, name
+        assert li.inlined >= pri.inlined, name

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The Figure 6 WAR hazard, step by step, under each recovery policy.
+
+Builds (with :class:`repro.workloads.TraceBuilder`) the exact scenario of
+the paper's Figure 6: a load misses to memory, delaying a dependent add;
+the add's *other* input is narrow, gets inlined at retire, and its
+physical register becomes a freeing candidate while the add still holds
+a stale pointer.  We then run the scenario under:
+
+* ``refcount`` — the consumer's reference pins the register (realistic);
+* ``ideal``    — payload RAM is patched instantaneously (upper bound);
+* ``replay``   — the register frees immediately and the violated
+  consumer replays through the map (the mechanism the paper mentions
+  but declines to build).
+
+Run:  python examples/war_hazard_demo.py
+"""
+
+import dataclasses
+
+from repro.config import CheckpointPolicy, WarPolicy, four_wide
+from repro.core.machine import simulate
+from repro.experiments.report import format_table
+from repro.workloads import TraceBuilder
+
+COLD = 0x4000_0000
+
+
+def figure6_trace():
+    b = TraceBuilder()
+    b.alu(dest=1, value=COLD)                        # address
+    b.load(dest=2, addr=COLD, value=0xABCDEF123, base=1)   # 1) load misses
+    b.alu(dest=3, value=5)                           # 2) narrow producer
+    b.alu(dest=5, value=0xABCDEF128, srcs=[2, 3])    # the delayed add
+    for i in range(80):                              # 3) churn wanting regs
+        b.alu(dest=6 + (i % 4), value=0x4000_0000 + i)
+    return b.build("figure6")
+
+
+def main() -> None:
+    trace = figure6_trace()
+    # Few spare registers, so the freed register is reallocated quickly —
+    # step 3/4 of Figure 6.
+    cfg = dataclasses.replace(four_wide(), int_phys_regs=40,
+                              perfect_icache=True)
+
+    rows = []
+    for label, policy in (("refcount", WarPolicy.REFCOUNT),
+                          ("ideal", WarPolicy.IDEAL),
+                          ("replay", WarPolicy.REPLAY)):
+        machine_cfg = cfg.with_pri(policy, CheckpointPolicy.LAZY)
+        stats = simulate(machine_cfg, trace)
+        rows.append((
+            label,
+            stats.cycles,
+            stats.inlined,
+            stats.pri_early_frees,
+            stats.pri_frees_deferred,
+            stats.war_replays,
+        ))
+
+    print(format_table(
+        "Figure 6 scenario under each WAR policy (40 INT registers)",
+        ("policy", "cycles", "inlined", "early frees", "frees deferred",
+         "WAR replays"),
+        rows,
+        floatfmt="{:.0f}",
+    ))
+    print("\nrefcount defers the free until the delayed add reads its")
+    print("operand; ideal patches the add's payload entry and frees at")
+    print("once; replay frees at once and pays for it when the add finds")
+    print("its register reallocated.  Every run is checked end-to-end: the")
+    print("add always receives the value dataflow requires.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so the
+PEP-517 editable-install path (which builds a wheel) cannot run.  With
+this shim and no ``[build-system]`` table in pyproject.toml, pip falls
+back to ``setup.py develop``, which works offline.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — a reproduction of "Physical Register Inlining"
+(Lipasti, Mestan, Gunadi; ISCA 2004).
+
+A cycle-level out-of-order superscalar simulator, built from scratch in
+Python, implementing the paper's physical register inlining (PRI)
+mechanism, the early-release (ER) baseline it compares against, and the
+full evaluation harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import four_wide, generate_trace, simulate
+
+    config = four_wide()
+    trace = generate_trace("gzip", 20_000)
+    base = simulate(config, trace)
+    pri = simulate(config.with_pri(), trace)
+    print(f"speedup: {pri.ipc / base.ipc:.3f}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-versus-measured results.
+"""
+
+from repro.config import (
+    MachineConfig,
+    PriConfig,
+    BranchConfig,
+    MemoryConfig,
+    CacheConfig,
+    WarPolicy,
+    CheckpointPolicy,
+    four_wide,
+    eight_wide,
+    PRF_SWEEP_SIZES,
+    EFFECTIVELY_INFINITE_REGS,
+)
+from repro.core.machine import Machine, SimulationError, simulate
+from repro.core.stats import SimStats, LifetimeStats
+from repro.workloads import (
+    BenchmarkProfile,
+    SPEC_INT,
+    SPEC_FP,
+    ALL_BENCHMARKS,
+    get_profile,
+    TraceGenerator,
+    generate_trace,
+    Trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "PriConfig",
+    "BranchConfig",
+    "MemoryConfig",
+    "CacheConfig",
+    "WarPolicy",
+    "CheckpointPolicy",
+    "four_wide",
+    "eight_wide",
+    "PRF_SWEEP_SIZES",
+    "EFFECTIVELY_INFINITE_REGS",
+    "Machine",
+    "SimulationError",
+    "simulate",
+    "SimStats",
+    "LifetimeStats",
+    "BenchmarkProfile",
+    "SPEC_INT",
+    "SPEC_FP",
+    "ALL_BENCHMARKS",
+    "get_profile",
+    "TraceGenerator",
+    "generate_trace",
+    "Trace",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Trace and result analysis.
+
+* :mod:`repro.analysis.significance` — operand-significance distributions
+  (the paper's Figure 2).
+* :mod:`repro.analysis.lifetime` — register-lifetime phase breakdowns
+  (Figures 1 and 8) extracted from simulation statistics.
+"""
+
+from repro.analysis.significance import (
+    int_width_cdf,
+    fp_exponent_cdf,
+    fp_significand_cdf,
+    SignificanceSummary,
+    summarize_trace,
+)
+from repro.analysis.lifetime import LifetimeBreakdown, breakdown_from_stats
+
+__all__ = [
+    "int_width_cdf",
+    "fp_exponent_cdf",
+    "fp_significand_cdf",
+    "SignificanceSummary",
+    "summarize_trace",
+    "LifetimeBreakdown",
+    "breakdown_from_stats",
+]

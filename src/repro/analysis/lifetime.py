@@ -1,0 +1,43 @@
+"""Register-lifetime phase analysis (Figures 1 and 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stats import SimStats
+
+
+@dataclass
+class LifetimeBreakdown:
+    """Average physical register lifetime split into the paper's three
+    phases: allocate→write, write→last-read, last-read→release."""
+
+    label: str
+    alloc_to_write: float
+    write_to_last_read: float
+    last_read_to_release: float
+
+    @property
+    def total(self) -> float:
+        return self.alloc_to_write + self.write_to_last_read + self.last_read_to_release
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.total:.1f} cycles "
+            f"(alloc->write {self.alloc_to_write:.1f}, "
+            f"write->last-read {self.write_to_last_read:.1f}, "
+            f"last-read->release {self.last_read_to_release:.1f})"
+        )
+
+
+def breakdown_from_stats(
+    stats: SimStats, label: str, reg_class: str = "int"
+) -> LifetimeBreakdown:
+    """Extract one stacked bar of Figure 1/8 from a simulation run."""
+    life = stats.lifetime(reg_class)
+    return LifetimeBreakdown(
+        label=label,
+        alloc_to_write=life.avg_alloc_to_write,
+        write_to_last_read=life.avg_write_to_last_read,
+        last_read_to_release=life.avg_last_read_to_release,
+    )

@@ -1,0 +1,27 @@
+"""Branch prediction substrate (Table 1).
+
+A combined predictor: 4k-entry bimodal and 4k-entry gshare selected by a
+4k-entry chooser, plus a 16-entry return address stack and a 1k-entry
+4-way BTB.  The pipeline consults :class:`BranchUnit` at fetch and updates
+it at branch resolution.
+"""
+
+from repro.branch.counters import SaturatingCounter, CounterTable
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.combined import CombinedPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import BranchUnit, BranchPrediction
+
+__all__ = [
+    "SaturatingCounter",
+    "CounterTable",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "CombinedPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchUnit",
+    "BranchPrediction",
+]

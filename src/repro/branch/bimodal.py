@@ -1,0 +1,25 @@
+"""Bimodal (per-PC two-bit counter) direction predictor."""
+
+from __future__ import annotations
+
+from repro.branch.counters import CounterTable
+
+
+class BimodalPredictor:
+    """Classic bimodal predictor: a table of 2-bit counters indexed by PC.
+
+    Captures strongly biased branches; defeated by patterned or
+    history-correlated branches (which gshare handles).
+    """
+
+    def __init__(self, num_entries: int = 4096) -> None:
+        self.table = CounterTable(num_entries, bits=2)
+
+    def _index(self, pc: int) -> int:
+        return pc >> 2
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(self._index(pc), taken)

@@ -1,0 +1,49 @@
+"""Combined (tournament) predictor: bimodal + gshare + selector."""
+
+from __future__ import annotations
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.counters import CounterTable
+from repro.branch.gshare import GsharePredictor
+
+
+class CombinedPredictor:
+    """Table 1's direction predictor: bimodal(4k) / gshare(4k) with a
+    4k-entry selector.
+
+    The selector is a table of 2-bit counters indexed by PC: high half
+    means "trust gshare".  It is trained only when the two components
+    disagree, as in the Alpha 21264 / SimpleScalar ``comb`` predictor.
+    """
+
+    def __init__(
+        self,
+        bimodal_entries: int = 4096,
+        gshare_entries: int = 4096,
+        selector_entries: int = 4096,
+        history_bits: int = 12,
+    ) -> None:
+        self.bimodal = BimodalPredictor(bimodal_entries)
+        self.gshare = GsharePredictor(gshare_entries, history_bits)
+        self.selector = CounterTable(selector_entries, bits=2)
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+
+    def predict(self, pc: int, history: int) -> bool:
+        if self.selector.predict(pc >> 2):
+            return self.gshare.predict(pc, history)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        """Train both components and, on disagreement, the selector."""
+        bim = self.bimodal.predict(pc)
+        gsh = self.gshare.predict(pc, history)
+        if bim != gsh:
+            self.selector.update(pc >> 2, taken == gsh)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, history, taken)
+
+    @staticmethod
+    def shift_history(history: int, taken: bool, history_bits: int) -> int:
+        """Append one outcome to a global history register."""
+        return ((history << 1) | int(taken)) & ((1 << history_bits) - 1)

@@ -1,0 +1,71 @@
+"""Saturating counters and counter tables, the building block of all the
+direction predictors."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter.
+
+    The counter predicts taken when in the upper half of its range.
+    2-bit counters (the default) are what the paper's bimodal and gshare
+    tables use.
+    """
+
+    __slots__ = ("value", "maximum")
+
+    def __init__(self, bits: int = 2, initial: int = None) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.maximum = (1 << bits) - 1
+        # Weakly-not-taken initial state by convention.
+        self.value = (self.maximum >> 1) if initial is None else initial
+        if not 0 <= self.value <= self.maximum:
+            raise ValueError("initial value out of range")
+
+    @property
+    def taken(self) -> bool:
+        return self.value > self.maximum >> 1
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            if self.value < self.maximum:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+
+class CounterTable:
+    """A direct-mapped table of n-bit saturating counters.
+
+    Stored as a flat list of ints for speed; the :class:`SaturatingCounter`
+    class above is the reference semantics (property-tested against this).
+    """
+
+    __slots__ = ("entries", "maximum", "_mask", "_threshold")
+
+    def __init__(self, num_entries: int, bits: int = 2) -> None:
+        if num_entries <= 0 or num_entries & (num_entries - 1):
+            raise ValueError("table size must be a positive power of two")
+        self.maximum = (1 << bits) - 1
+        self._mask = num_entries - 1
+        self._threshold = self.maximum >> 1
+        self.entries = [self._threshold] * num_entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def index(self, key: int) -> int:
+        return key & self._mask
+
+    def predict(self, key: int) -> bool:
+        return self.entries[key & self._mask] > self._threshold
+
+    def update(self, key: int, taken: bool) -> None:
+        i = key & self._mask
+        v = self.entries[i]
+        if taken:
+            if v < self.maximum:
+                self.entries[i] = v + 1
+        elif v > 0:
+            self.entries[i] = v - 1

@@ -1,0 +1,28 @@
+"""Gshare direction predictor (global history XOR PC)."""
+
+from __future__ import annotations
+
+from repro.branch.counters import CounterTable
+
+
+class GsharePredictor:
+    """Gshare: 2-bit counters indexed by (PC >> 2) XOR global history.
+
+    The caller supplies the history register value at prediction/update
+    time (the pipeline keeps a speculative history it repairs on
+    misprediction); :meth:`predict`/:meth:`update` are pure table ops.
+    """
+
+    def __init__(self, num_entries: int = 4096, history_bits: int = 12) -> None:
+        self.table = CounterTable(num_entries, bits=2)
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int, history: int) -> int:
+        return (pc >> 2) ^ (history & self.history_mask)
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.table.predict(self._index(pc, history))
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        self.table.update(self._index(pc, history), taken)

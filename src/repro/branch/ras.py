@@ -1,0 +1,37 @@
+"""Return address stack."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """A fixed-depth return address stack (Table 1: 16 entries).
+
+    Overflow wraps (oldest entry lost), underflow predicts nothing —
+    both produce the realistic mispredictions deep call chains cause.
+    The pipeline snapshots/restores the stack around control speculation.
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        self.depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def snapshot(self) -> List[int]:
+        return list(self._stack)
+
+    def restore(self, snap: List[int]) -> None:
+        self._stack = list(snap)
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,30 @@
+"""Cycle-level out-of-order core.
+
+The pipeline follows Figure 5 of the paper: Fetch, Decode, Rename, Queue,
+Sched, Disp, Disp, RF, RF, Exe, Retire, Commit (12 stages), with
+speculative scheduling (loads assumed to hit the DL1) and selective
+replay of dependents on latency mispredictions.  :class:`Machine` wires
+the substrates together and implements the three register-reclamation
+schemes the paper evaluates: the conventional baseline, early release
+(ER), and physical register inlining (PRI) with its WAR/checkpoint policy
+matrix — plus their combination.
+"""
+
+from repro.core.stats import SimStats, LifetimeStats
+from repro.core.regfile import PhysRegFile, RegState
+from repro.core.inflight import InFlight, SourceRecord, SRC_REG, SRC_IMM
+from repro.core.machine import Machine, SimulationError, simulate
+
+__all__ = [
+    "SimStats",
+    "LifetimeStats",
+    "PhysRegFile",
+    "RegState",
+    "InFlight",
+    "SourceRecord",
+    "SRC_REG",
+    "SRC_IMM",
+    "Machine",
+    "SimulationError",
+    "simulate",
+]

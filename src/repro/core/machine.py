@@ -1,0 +1,963 @@
+"""The cycle-level out-of-order machine.
+
+Pipeline (Figure 5): ``Fetch | Decode | Rename | Queue | Sched | Disp |
+Disp | RF | RF | Exe | Retire | Commit``.  The model is trace-driven and
+event-assisted: a cycle loop advances fetch/rename/select/commit, while a
+heap of timed events delivers wakeup broadcasts, operand reads, execution
+completions, and PRI retire-stage actions at the right cycles.
+
+Timing conventions (all configurable via :class:`repro.config.MachineConfig`):
+
+* an instruction fetched in cycle ``f`` can rename in ``f + frontend_depth - 1``;
+* a producer selected in cycle ``t`` broadcasts its wakeup at ``t + L_assumed``,
+  so a single-cycle dependent can be selected at ``t + 1``;
+* its value is readable by any consumer selected at or after
+  ``t + L_actual`` (``ready_select``), which differs from the broadcast
+  only for loads that miss — dependents selected in that window are
+  *selectively replayed* at select-time verification;
+* operands are read (and consumer reference counts dropped) at
+  ``select + rf_read_offset``;
+* execution completes at ``select + exec_offset + L_actual``; PRI's
+  significance check and late map update run ``retire_offset`` later;
+* commit is in-order, up to ``width`` per cycle, after the retire stage.
+
+Register reclamation schemes (Section 3 / Table 1):
+
+* baseline — the previous mapping of an instruction's destination is
+  freed when the instruction commits;
+* ER — a register frees as soon as it is written, unmapped from the
+  current map, referenced by no checkpoint, and read by all renamed
+  consumers (Moudgill-style counters and flags);
+* PRI — a narrow result is inlined into the map entry at retire (WAW
+  check per Figure 7) and its register freed under the configured WAR
+  policy (``refcount`` / ``ideal`` / ``replay``) and checkpoint policy
+  (``ckptcount`` / ``lazy``).
+
+Dataflow is *verified*: every operand delivered to execution is checked
+against the value the trace's dataflow requires, and every physical
+register read is checked against its allocation generation.  A
+bookkeeping bug that would cause the paper's Figure 6 WAR violation
+raises :class:`SimulationError` instead of silently corrupting results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.branch.unit import BranchUnit
+from repro.config import CheckpointPolicy, MachineConfig, WarPolicy
+from repro.core.inflight import SRC_IMM, SRC_REG, InFlight, SourceRecord
+from repro.core.lsq import LoadStoreQueue
+from repro.core.regfile import NEVER, PhysRegFile, RegState
+from repro.core.scheduler import Scheduler
+from repro.core.stats import SimStats
+from repro.isa.opcodes import LATENCY, OpClass, RegClass
+from repro.isa.registers import FP_ZERO_REG, INT_ZERO_REG
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.rename.checkpoints import CheckpointManager
+from repro.rename.map_table import RenameMapTable
+from repro.rename.refcount import RefCountTable
+from repro.workloads.trace import Trace
+
+# Event kinds, processed in (cycle, insertion-order).
+_EV_WAKE = 0  # (reg_class, preg): speculative wakeup broadcast
+_EV_READ = 1  # (instr, token): register-read stage
+_EV_COMPLETE = 2  # (instr, token): end of execution
+_EV_RETIRE = 3  # (instr, token): PRI significance check / map update
+_EV_TIMER = 4  # instr: scheduled re-wake after a failed verification
+
+_CLASS_NAMES = {RegClass.INT: "int", RegClass.FP: "fp"}
+
+#: Virtual-physical mode: map pointers at or above this value encode a
+#: virtual tag (``value - _VID_FLAG`` indexes the machine's vtag table)
+#: rather than a physical register number.
+_VID_FLAG = 1 << 40
+
+
+class _VReg:
+    """Virtual-tag table entry (virtual-physical mode).
+
+    Carries the scheduling and value state that lives on the physical
+    register in the conventional machine; the physical register bound at
+    issue time (``preg``) only models capacity.
+    """
+
+    __slots__ = ("owner", "reg_class", "preg", "preg_gen", "pred_ready",
+                 "ready_select", "value", "written")
+
+    def __init__(self, owner, reg_class):
+        self.owner = owner  # InFlight, or None for architectural state
+        self.reg_class = reg_class
+        self.preg = -1
+        self.preg_gen = -1
+        self.pred_ready = NEVER
+        self.ready_select = NEVER
+        self.value = 0
+        self.written = False
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulated dataflow is provably corrupted (e.g. a
+    WAR violation under a policy that must prevent them) or the machine
+    deadlocks."""
+
+
+class Machine:
+    """One configured machine instance.  Use :meth:`run` on a trace."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.cfg = config
+        self.stats = SimStats()
+        self.branch_unit = BranchUnit(config.branch)
+        self.memory = MemoryHierarchy(config.memory)
+        pri = config.pri
+        self.rf: Dict[RegClass, PhysRegFile] = {
+            RegClass.INT: PhysRegFile(config.int_phys_regs, "int"),
+            RegClass.FP: PhysRegFile(config.fp_phys_regs, "fp"),
+        }
+        self.maps: Dict[RegClass, RenameMapTable] = {
+            RegClass.INT: RenameMapTable(32, pri.int_width_bits, fp_mode=False),
+            RegClass.FP: RenameMapTable(32, 1, fp_mode=True),
+        }
+        self.refcounts: Dict[RegClass, RefCountTable] = {
+            RegClass.INT: RefCountTable(config.int_phys_regs),
+            RegClass.FP: RefCountTable(config.fp_phys_regs),
+        }
+        self._vp = config.virtual_physical
+        if self._vp and config.early_release:
+            raise ValueError(
+                "virtual-physical allocation does not compose with the "
+                "early-release scheme (see MachineConfig.virtual_physical)"
+            )
+        self.ckpts = CheckpointManager(
+            config.max_checkpoints,
+            self.maps,
+            self.refcounts,
+            track_er_refs=config.early_release,
+            track_refs=not self._vp,
+        )
+        self.ckpts.on_unref = self._after_unref
+        # Virtual-physical state: vtag table, id counter, and per-class
+        # queues of issued instructions waiting for a physical register.
+        self._vregs: Dict[int, _VReg] = {}
+        self._next_vid = 1
+        self._preg_waiters: Dict[RegClass, deque] = {
+            RegClass.INT: deque(), RegClass.FP: deque()
+        }
+        self.sched = Scheduler(config.scheduler_entries)
+        self.lsq = LoadStoreQueue(config.lsq_entries)
+        self.rob: deque = deque()
+
+        self._track_refs = pri.enabled or config.early_release
+        self._ideal_war = pri.enabled and pri.war_policy == WarPolicy.IDEAL
+        self._replay_war = pri.enabled and pri.war_policy == WarPolicy.REPLAY
+        self._lazy_ckpt = pri.enabled and pri.checkpoint_policy == CheckpointPolicy.LAZY
+        # Payload-RAM index for the ideal policy's associative update:
+        # per class, per preg, the live consumer records.
+        self._consumer_records: Dict[RegClass, List[list]] = {
+            cls: [[] for _ in range(rf.num_regs)] for cls, rf in self.rf.items()
+        }
+
+        self._events: List[tuple] = []
+        self._ev_counter = 0
+        self.now = 0
+        self._seq = 0
+        self._committed_target = 0
+        self._last_commit_cycle = 0
+
+        # Fetch state.
+        self.trace: Optional[Trace] = None
+        self._fetch_idx = 0
+        self._fetch_buffer: deque = deque()
+        self._fetch_stall_until = 0
+
+    # ================================================================ API
+
+    def run(
+        self,
+        trace: Trace,
+        max_insts: Optional[int] = None,
+        max_cycles: Optional[int] = None,
+    ) -> SimStats:
+        """Simulate ``trace`` until ``max_insts`` commits (default: all).
+
+        Returns the populated :class:`~repro.core.stats.SimStats`.
+        """
+        self.reset(trace)
+        target = len(trace) if max_insts is None else min(max_insts, len(trace))
+        self._committed_target = target
+        if target == 0:
+            return self.stats
+        limit = max_cycles if max_cycles is not None else NEVER
+        while self.stats.committed < target:
+            if self.now >= limit:
+                break
+            self.now += 1
+            self._process_events()
+            self.stats.occupancy_sum["int"] += self.rf[RegClass.INT].allocated_count
+            self.stats.occupancy_sum["fp"] += self.rf[RegClass.FP].allocated_count
+            self._commit()
+            self._select()
+            self._rename()
+            self._fetch()
+            if self.now - self._last_commit_cycle > 100_000:
+                raise SimulationError(
+                    f"deadlock: no commit since cycle {self._last_commit_cycle}"
+                )
+        self._finalize()
+        return self.stats
+
+    def warmup(self, trace: Trace) -> None:
+        """Train predictors and warm caches on the trace's untimed prefix
+        (the stand-in for the paper's 400M-instruction fast-forward)."""
+        unit = self.branch_unit
+        mem = self.memory
+        for op in trace.warmup_ops:
+            mem.fetch_latency(op.pc)
+            if op.is_branch:
+                unit.resolve(op, unit.predict(op))
+            elif op.is_load:
+                mem.load_latency(op.mem_addr)
+            elif op.is_store:
+                mem.store_access(op.mem_addr)
+        unit.predictions = 0
+        unit.direction_mispredicts = 0
+        unit.target_mispredicts = 0
+        mem.il1.hits = mem.il1.misses = 0
+        mem.dl1.hits = mem.dl1.misses = 0
+        mem.l2.hits = mem.l2.misses = 0
+
+    def reset(self, trace: Trace) -> None:
+        """Install architectural state from the trace's initial values."""
+        if self.trace is not None:
+            raise SimulationError(
+                "Machine instances are single-run: construct a new Machine "
+                "(or use repro.simulate) for each trace"
+            )
+        self.trace = trace
+        self.warmup(trace)
+        self._fetch_idx = 0
+        self._fetch_buffer.clear()
+        self._fetch_stall_until = 0
+        for cls, initial in (
+            (RegClass.INT, trace.initial_int),
+            (RegClass.FP, trace.initial_fp),
+        ):
+            rf = self.rf[cls]
+            table = self.maps[cls]
+            zero = INT_ZERO_REG if cls == RegClass.INT else FP_ZERO_REG
+            for lreg in range(table.num_logical):
+                if lreg == zero:
+                    continue
+                preg = rf.allocate_architectural(lreg, initial[lreg])
+                if self._vp:
+                    vid = self._new_vreg(cls, owner=None)
+                    v = self._vregs[vid]
+                    v.preg = preg
+                    v.preg_gen = rf.gen[preg]
+                    v.value = initial[lreg]
+                    v.pred_ready = 0
+                    v.ready_select = 0
+                    v.written = True
+                    table.set_pointer(lreg, _VID_FLAG + vid)
+                else:
+                    table.set_pointer(lreg, preg)
+
+    def _new_vreg(self, reg_class: RegClass, owner) -> int:
+        vid = self._next_vid
+        self._next_vid += 1
+        self._vregs[vid] = _VReg(owner, reg_class)
+        return vid
+
+    # ============================================================ events
+
+    def _schedule(self, cycle: int, kind: int, payload) -> None:
+        self._ev_counter += 1
+        heapq.heappush(self._events, (cycle, self._ev_counter, kind, payload))
+
+    def _process_events(self) -> None:
+        events = self._events
+        now = self.now
+        while events and events[0][0] <= now:
+            _, __, kind, payload = heapq.heappop(events)
+            if kind == _EV_WAKE:
+                cls, preg = payload
+                self.sched.wake(cls, preg)
+            elif kind == _EV_READ:
+                instr, token = payload
+                if not instr.squashed and instr.issue_token == token:
+                    self._do_read(instr)
+            elif kind == _EV_COMPLETE:
+                instr, token = payload
+                if not instr.squashed and instr.issue_token == token:
+                    self._do_complete(instr)
+            elif kind == _EV_RETIRE:
+                instr, token = payload
+                if not instr.squashed and instr.issue_token == token:
+                    self._do_retire(instr)
+            else:  # _EV_TIMER
+                self.sched.timer_wake(payload)
+
+    # ============================================================= fetch
+
+    def _fetch(self) -> None:
+        if self.now < self._fetch_stall_until:
+            return
+        cfg = self.cfg
+        if len(self._fetch_buffer) >= cfg.width * 2:
+            return
+        trace = self.trace
+        count = 0
+        while count < cfg.width and self._fetch_idx < len(trace):
+            op = trace[self._fetch_idx]
+            if count == 0 and not cfg.perfect_icache:
+                latency = self.memory.fetch_latency(op.pc)
+                hit = cfg.memory.il1.latency
+                if latency > hit:
+                    # IL1 miss: the line arrives after the extra latency.
+                    self._fetch_stall_until = self.now + (latency - hit)
+                    return
+            self._fetch_buffer.append((op, self._fetch_idx, self.now))
+            self._fetch_idx += 1
+            count += 1
+            self.stats.fetched += 1
+            if op.is_branch and op.taken:
+                break  # Table 1: fetch stops at the first taken branch.
+
+    # ============================================================ rename
+
+    def _rename(self) -> None:
+        budget = self.cfg.width
+        horizon = self.now - (self.cfg.frontend_depth - 1)
+        while budget and self._fetch_buffer:
+            op, trace_idx, fetch_cycle = self._fetch_buffer[0]
+            if fetch_cycle > horizon:
+                break
+            if not self._try_rename_one(op, trace_idx, fetch_cycle):
+                break
+            self._fetch_buffer.popleft()
+            budget -= 1
+
+    def _stall(self, regs: bool) -> bool:
+        if regs:
+            self.stats.rename_stall_regs += 1
+        else:
+            self.stats.rename_stall_other += 1
+        return False
+
+    def _try_rename_one(self, op, trace_idx: int, fetch_cycle: int) -> bool:
+        cfg = self.cfg
+        if len(self.rob) >= cfg.rob_entries or not self.sched.has_space:
+            return self._stall(regs=False)
+        is_mem = op.is_load or op.is_store
+        if is_mem and not self.lsq.has_space:
+            return self._stall(regs=False)
+        if op.is_branch and self.ckpts.full:
+            return self._stall(regs=False)
+
+        pri = cfg.pri
+        dest_cls = op.dest_class
+        li_inline = False
+        if op.dest is not None:
+            li_inline = (
+                pri.enabled
+                and pri.inline_on_load_immediate
+                and op.op == OpClass.INT_ALU
+                and not op.sources
+                and self.maps[RegClass.INT].value_fits(op.result)
+            )
+            # Virtual-physical mode allocates at issue, not rename.
+            if not self._vp and not li_inline and self.rf[dest_cls].free_list.empty:
+                return self._stall(regs=True)
+
+        self._seq += 1
+        instr = InFlight(op, self._seq, trace_idx, fetch_cycle)
+        instr.rename_cycle = self.now
+
+        # --- source operands: read the map.
+        unready: List[Tuple[RegClass, int]] = []
+        for src in op.sources:
+            cls = src.reg_class
+            zero = INT_ZERO_REG if cls == RegClass.INT else FP_ZERO_REG
+            if src.index == zero:
+                instr.sources.append(
+                    SourceRecord(SRC_IMM, cls, -1, -1, 0, counted=False)
+                )
+                continue
+            entry = self.maps[cls].lookup(src.index)
+            if entry.is_immediate:
+                if entry.value != src.expected_value:
+                    raise SimulationError(
+                        f"map immediate corrupt for {src!r} at #{instr.seq}: "
+                        f"map={entry.value:#x} expected={src.expected_value:#x}"
+                    )
+                instr.sources.append(
+                    SourceRecord(SRC_IMM, cls, -1, -1, entry.value, counted=False)
+                )
+                continue
+            preg = entry.value
+            if preg < 0:
+                raise SimulationError(f"unmapped logical register in {src!r}")
+            if preg >= _VID_FLAG:
+                # Virtual-physical mode: the source names a virtual tag.
+                v = self._vregs[preg - _VID_FLAG]
+                if v.value != src.expected_value and v.written:
+                    raise SimulationError(
+                        f"vtag table corrupt for {src!r} at #{instr.seq}"
+                    )
+                rec = SourceRecord(SRC_REG, cls, preg, 0, src.expected_value,
+                                   counted=False)
+                instr.sources.append(rec)
+                if v.pred_ready > self.now:
+                    unready.append((cls, preg))
+                continue
+            rf = self.rf[cls]
+            rec = SourceRecord(
+                SRC_REG, cls, preg, rf.gen[preg], src.expected_value,
+                counted=self._track_refs,
+            )
+            if self._track_refs:
+                self.refcounts[cls].add_consumer(preg)
+            if self._ideal_war:
+                self._consumer_records[cls][preg].append((rec, instr))
+            instr.sources.append(rec)
+            if rf.pred_ready[preg] > self.now:
+                unready.append((cls, preg))
+
+        # --- destination: allocate and update the map.
+        if op.dest is not None and self._vp:
+            table = self.maps[dest_cls]
+            prev = table.pointer_of(op.dest)
+            if prev >= _VID_FLAG:
+                instr.prev_vid = prev
+            if li_inline:
+                table.set_immediate(op.dest, op.result)
+                self.stats.inlined += 1
+                self.stats.inline_attempts += 1
+            else:
+                vid = self._new_vreg(dest_cls, instr)
+                instr.dest_vid = _VID_FLAG + vid
+                table.set_pointer(op.dest, instr.dest_vid)
+        elif op.dest is not None:
+            table = self.maps[dest_cls]
+            prev = table.pointer_of(op.dest)
+            instr.prev_preg = prev
+            if prev >= 0:
+                instr.prev_gen = self.rf[dest_cls].gen[prev]
+            if li_inline:
+                table.set_immediate(op.dest, op.result)
+                instr.dest_preg = -1
+                self.stats.inlined += 1
+                self.stats.inline_attempts += 1
+            else:
+                rf = self.rf[dest_cls]
+                preg = rf.allocate(op.dest, instr.seq, self.now)
+                if preg is None:  # checked above; defensive
+                    raise SimulationError("free list empty after check")
+                self._consumer_records[dest_cls][preg].clear()
+                instr.dest_preg = preg
+                instr.dest_gen = rf.gen[preg]
+                table.set_pointer(op.dest, preg)
+            if prev >= 0 and cfg.early_release:
+                self._maybe_free_er(dest_cls, prev)
+
+        # --- branches: predict and checkpoint.
+        if op.is_branch:
+            instr.prediction = self.branch_unit.predict(op)
+            instr.mispredicted = instr.prediction.mispredicted
+            instr.checkpoint = self.ckpts.take(
+                instr.seq, self.branch_unit.ras.snapshot(), self.branch_unit.history
+            )
+            if instr.checkpoint is None:
+                raise SimulationError("checkpoint pool exhausted after check")
+
+        if is_mem:
+            self.lsq.insert(instr)
+        self.sched.insert(instr, unready)
+        self.rob.append(instr)
+        self.stats.renamed += 1
+        return True
+
+    # ============================================================ select
+
+    def _select(self) -> None:
+        slots = self.cfg.width
+        while slots:
+            instr = self.sched.pop_ready()
+            if instr is None:
+                return
+            ok = self._verify_and_issue(instr)
+            slots -= 1
+            if not ok:
+                self.stats.issue_replays += 1
+                instr.replays += 1
+
+    def _verify_and_issue(self, instr: InFlight) -> bool:
+        """Select-time verification; issue on success, re-park on failure."""
+        now = self.now
+        never_waits: List[Tuple[RegClass, int]] = []
+        finite_waits: List[int] = []
+        for rec in instr.sources:
+            if rec.mode != SRC_REG or rec.read_done:
+                continue
+            preg = rec.preg
+            if preg >= _VID_FLAG:
+                # Virtual tags are never reused: only readiness to check.
+                ready = self._vregs[preg - _VID_FLAG].ready_select
+                if ready > now:
+                    if ready >= NEVER:
+                        never_waits.append((rec.reg_class, preg))
+                    else:
+                        finite_waits.append(ready)
+                continue
+            rf = self.rf[rec.reg_class]
+            if rf.gen[preg] != rec.gen or rf.state[preg] == RegState.FREE:
+                # The producer's register was reclaimed before this
+                # consumer read it: Figure 6's WAR violation.
+                if self._replay_war:
+                    self.stats.war_replays += 1
+                    if rec.counted:
+                        rec.counted = False
+                        self.refcounts[rec.reg_class].drop_consumer(preg)
+                    rec.patch_to_immediate(rec.value)
+                    finite_waits.append(now + self.cfg.war_replay_penalty)
+                    continue
+                raise SimulationError(
+                    f"WAR violation: p{preg} reclaimed under "
+                    f"{self.cfg.pri.war_policy} before #{instr.seq} read it"
+                )
+            ready = rf.ready_select[preg]
+            if ready > now:
+                if ready >= NEVER:
+                    never_waits.append((rec.reg_class, preg))
+                else:
+                    finite_waits.append(ready)
+        if never_waits or finite_waits:
+            self.sched.park(instr, never_waits, extra_missing=len(finite_waits))
+            for cycle in finite_waits:
+                self._schedule(cycle, _EV_TIMER, instr)
+            return False
+        if self._vp and instr.dest_vid >= 0 and instr.dest_preg < 0:
+            if not self._bind_dest_preg(instr):
+                self.stats.vp_alloc_stalls += 1
+                return False
+        self._issue(instr)
+        return True
+
+    def _bind_dest_preg(self, instr: InFlight) -> bool:
+        """Virtual-physical mode: claim a physical register at issue.
+
+        The last free register of a class is reserved for the oldest
+        un-issued register-writing instruction — otherwise younger work
+        could strand the in-order commit point without a register and
+        deadlock the machine.  Denied instructions queue and are re-woken
+        when a register of their class frees.
+        """
+        cls = instr.op.dest_class
+        rf = self.rf[cls]
+        free = len(rf.free_list)
+        if free == 0 or (free == 1 and not self._oldest_unissued_writer(instr)):
+            self._preg_waiters[cls].append(instr)
+            instr.missing = 1
+            return False
+        preg = rf.allocate(instr.op.dest, instr.seq, self.now)
+        v = self._vregs[instr.dest_vid - _VID_FLAG]
+        v.preg = preg
+        v.preg_gen = rf.gen[preg]
+        instr.dest_preg = preg
+        instr.dest_gen = rf.gen[preg]
+        return True
+
+    def _oldest_unissued_writer(self, instr: InFlight) -> bool:
+        for entry in self.rob:
+            if entry.squashed or entry.issued or entry.op.dest is None:
+                continue
+            return entry is instr
+        return True
+
+    def _issue(self, instr: InFlight) -> None:
+        now = self.now
+        cfg = self.cfg
+        op = instr.op
+        self.sched.release_entry(instr)
+        instr.issued = True
+        instr.issue_cycle = now
+        instr.issue_token += 1
+        token = instr.issue_token
+
+        latency = LATENCY[op.op]
+        assumed = actual = latency
+        if op.is_load:
+            assumed = latency + self.memory.dl1_hit_latency
+            if self.lsq.forwarding_store(instr):
+                self.lsq.forwards += 1
+                actual = assumed
+            else:
+                actual = latency + self.memory.load_latency(op.mem_addr)
+            instr.mem_latency = actual - latency
+
+        if self._vp and instr.dest_vid >= 0:
+            v = self._vregs[instr.dest_vid - _VID_FLAG]
+            v.pred_ready = now + assumed
+            v.ready_select = now + actual
+            v.value = op.result
+            self._schedule(now + assumed, _EV_WAKE, (op.dest_class, instr.dest_vid))
+        elif instr.dest_preg >= 0:
+            rf = self.rf[op.dest_class]
+            preg = instr.dest_preg
+            rf.pred_ready[preg] = now + assumed
+            rf.ready_select[preg] = now + actual
+            rf.value[preg] = op.result  # forwarded value; written at complete
+            self._schedule(now + assumed, _EV_WAKE, (op.dest_class, preg))
+        if instr.sources:
+            self._schedule(now + cfg.rf_read_offset, _EV_READ, (instr, token))
+        self._schedule(now + cfg.exec_offset + actual, _EV_COMPLETE, (instr, token))
+        self.stats.issued += 1
+
+    # ========================================================== read stage
+
+    def _do_read(self, instr: InFlight) -> None:
+        now = self.now
+        for rec in instr.sources:
+            if rec.read_done:
+                continue
+            if rec.mode == SRC_IMM:
+                rec.read_done = True
+                continue
+            cls = rec.reg_class
+            preg = rec.preg
+            if preg >= _VID_FLAG:
+                v = self._vregs.get(preg - _VID_FLAG)
+                if v is None or v.value != rec.value:
+                    raise SimulationError(
+                        f"vtag dataflow corruption at #{instr.seq}: "
+                        f"expected {rec.value:#x}"
+                    )
+                rec.read_done = True
+                if v.preg >= 0:
+                    self.rf[cls].read_stamp(v.preg, now)
+                continue
+            rf = self.rf[cls]
+            if rf.gen[preg] != rec.gen:
+                if self._replay_war:
+                    self._war_reissue(instr)
+                    return
+                raise SimulationError(
+                    f"WAR violation at read: p{preg} reallocated before "
+                    f"#{instr.seq} read it (policy {self.cfg.pri.war_policy})"
+                )
+            if rf.value[preg] != rec.value:
+                raise SimulationError(
+                    f"dataflow corruption: #{instr.seq} read {rf.value[preg]:#x} "
+                    f"from p{preg}, expected {rec.value:#x}"
+                )
+            rec.read_done = True
+            rf.read_stamp(preg, now)
+            if rec.counted:
+                rec.counted = False
+                self.refcounts[cls].drop_consumer(preg)
+                self._after_unref(cls, preg)
+
+    def _war_reissue(self, instr: InFlight) -> None:
+        """REPLAY policy: squash this consumer back through the map.
+
+        All unread operands are re-delivered as immediates (modelling the
+        replayed map read) and the instruction re-issues after a penalty.
+        """
+        self.stats.war_replays += 1
+        for rec in instr.sources:
+            if rec.mode == SRC_REG and not rec.read_done:
+                if rec.counted:
+                    rec.counted = False
+                    self.refcounts[rec.reg_class].drop_consumer(rec.preg)
+                rec.patch_to_immediate(rec.value)
+        instr.issued = False
+        instr.issue_token += 1
+        if instr.dest_preg >= 0:
+            rf = self.rf[instr.op.dest_class]
+            rf.pred_ready[instr.dest_preg] = NEVER
+            rf.ready_select[instr.dest_preg] = NEVER
+        instr.in_scheduler = True
+        self.sched.occupancy += 1  # entry re-claimed; may transiently overflow
+        instr.missing = 1
+        self._schedule(self.now + self.cfg.war_replay_penalty, _EV_TIMER, instr)
+
+    # ========================================================== complete
+
+    def _do_complete(self, instr: InFlight) -> None:
+        now = self.now
+        instr.completed = True
+        instr.complete_cycle = now
+        op = instr.op
+        if instr.dest_preg >= 0:
+            rf = self.rf[op.dest_class]
+            rf.write(instr.dest_preg, op.result, now)
+            if self._vp:
+                self._vregs[instr.dest_vid - _VID_FLAG].written = True
+            elif self.cfg.pri.enabled:
+                # Pin against ER release until the retire-stage PRI check.
+                rf.retire_pending[instr.dest_preg] = True
+            if self.cfg.early_release:
+                self._maybe_free_er(op.dest_class, instr.dest_preg)
+        if op.is_branch:
+            self.branch_unit.resolve(op, instr.prediction)
+            if instr.mispredicted:
+                self.stats.mispredicts += 1
+                self._recover(instr)
+            # Resolved branches can never be recovery targets again, so
+            # their shadow maps free immediately (out of order).
+            self.ckpts.release(instr.checkpoint)
+        if self.cfg.pri.enabled and instr.dest_preg >= 0:
+            self._schedule(
+                now + self.cfg.retire_offset, _EV_RETIRE, (instr, instr.issue_token)
+            )
+
+    # ====================================================== retire (PRI)
+
+    def _do_retire(self, instr: InFlight) -> None:
+        """PRI's retire-stage significance check and late map update."""
+        op = instr.op
+        cls = op.dest_class
+        table = self.maps[cls]
+        if self._vp:
+            # Virtual-physical mode: consumers read through the vtag
+            # table, so an inlined register frees unconditionally.
+            if cls == RegClass.FP and not self.cfg.pri.inline_fp:
+                return
+            if not table.value_fits(op.result):
+                return
+            self.stats.inline_attempts += 1
+            if not table.try_inline(op.dest, instr.dest_vid, op.result):
+                self.stats.inline_waw_dropped += 1
+                return
+            self.stats.inlined += 1
+            v = self._vregs[instr.dest_vid - _VID_FLAG]
+            if v.preg >= 0 and self.rf[cls].gen_matches(v.preg, v.preg_gen):
+                self._release_preg(cls, v.preg)
+                self.stats.pri_early_frees += 1
+                v.preg = -1
+            return
+        preg = instr.dest_preg
+        rf_dest = self.rf[cls]
+        rf_dest.retire_pending[preg] = False
+        if cls == RegClass.FP and not self.cfg.pri.inline_fp:
+            if self.cfg.early_release:
+                self._maybe_free_er(cls, preg)
+            return
+        if not table.value_fits(op.result):
+            if self.cfg.early_release:
+                self._maybe_free_er(cls, preg)
+            return
+        self.stats.inline_attempts += 1
+        if not table.try_inline(op.dest, preg, op.result):
+            self.stats.inline_waw_dropped += 1  # Figure 7: entry remapped
+            if self.cfg.early_release:
+                self._maybe_free_er(cls, preg)
+            return
+        self.stats.inlined += 1
+        rf = self.rf[cls]
+        rf.inline_pending[preg] = True
+        if self._lazy_ckpt:
+            self.ckpts.patch_inlined(cls, preg, op.result)
+        if self._ideal_war:
+            self._patch_payload(cls, preg, instr.dest_gen, op.result)
+        if not self._try_pri_free(cls, preg):
+            self.stats.pri_frees_deferred += 1
+
+    def _patch_payload(self, cls: RegClass, preg: int, gen: int, value: int) -> None:
+        """Ideal WAR policy: associatively update stale payload pointers."""
+        records = self._consumer_records[cls][preg]
+        counts = self.refcounts[cls]
+        for rec, consumer in records:
+            if (
+                consumer.squashed
+                or rec.read_done
+                or rec.mode != SRC_REG
+                or rec.preg != preg
+                or rec.gen != gen
+            ):
+                continue
+            rec.patch_to_immediate(value)
+            if rec.counted:
+                rec.counted = False
+                counts.drop_consumer(preg)
+        records.clear()
+
+    # ====================================================== reclamation
+
+    def _try_pri_free(self, cls: RegClass, preg: int) -> bool:
+        """Free an inlined register if no references pin it."""
+        rf = self.rf[cls]
+        if not rf.inline_pending[preg] or rf.state[preg] == RegState.FREE:
+            return False
+        if self.maps[cls].pointer_of(rf.lreg[preg]) == preg:
+            # A misprediction recovery restored a checkpoint from before
+            # the late map update, so this register is the live mapping
+            # again: the inline is void.  The register will be freed by
+            # the conventional path when its redefiner commits.
+            rf.inline_pending[preg] = False
+            return False
+        counts = self.refcounts[cls]
+        if not self._replay_war and counts.consumers(preg) > 0:
+            return False
+        if counts.checkpoint_refs(preg) > 0:
+            return False
+        self._release_preg(cls, preg)
+        self.stats.pri_early_frees += 1
+        return True
+
+    def _maybe_free_er(self, cls: RegClass, preg: int) -> None:
+        """Early release (prior work): complete + unmapped everywhere +
+        all renamed consumers have read."""
+        rf = self.rf[cls]
+        if rf.state[preg] != RegState.WRITTEN or rf.inline_pending[preg]:
+            return
+        if rf.retire_pending[preg]:
+            return  # PRI's retire-stage check has not run yet (see regfile)
+        if self.maps[cls].pointer_of(rf.lreg[preg]) == preg:
+            return  # still the current mapping
+        counts = self.refcounts[cls]
+        if counts.consumers(preg) > 0 or counts.er_checkpoint_refs(preg) > 0:
+            return
+        self._release_preg(cls, preg)
+        self.stats.er_early_frees += 1
+
+    def _after_unref(self, cls: RegClass, preg: int) -> None:
+        """A reference dropped: an inlined or dead register may now free."""
+        rf = self.rf[cls]
+        if rf.state[preg] == RegState.FREE:
+            return
+        if rf.inline_pending[preg]:
+            self._try_pri_free(cls, preg)
+        elif self.cfg.early_release:
+            self._maybe_free_er(cls, preg)
+
+    def _release_preg(self, cls: RegClass, preg: int) -> None:
+        name = _CLASS_NAMES[cls]
+        freed = self.rf[cls].release(preg, self.now, self.stats.lifetimes[name])
+        if not freed:
+            self.stats.duplicate_deallocs += 1
+        elif self._vp:
+            # A register became available: re-wake the *oldest* blocked
+            # instruction of this class.  Waking anything younger can
+            # lose the wake — the reserve rule would deny it and nothing
+            # would ever re-wake the oldest.
+            waiters = self._preg_waiters[cls]
+            best = None
+            for cand in waiters:
+                if cand.squashed or cand.issued or not cand.in_scheduler:
+                    continue
+                if best is None or cand.seq < best.seq:
+                    best = cand
+            if best is not None:
+                waiters.remove(best)
+                self.sched.push_ready(best)
+
+    # ============================================================ commit
+
+    def _commit(self) -> None:
+        budget = self.cfg.width
+        now = self.now
+        retire_offset = self.cfg.retire_offset
+        while budget and self.rob:
+            head = self.rob[0]
+            if not head.completed or now < head.complete_cycle + retire_offset:
+                break
+            self.rob.popleft()
+            head.committed = True
+            op = head.op
+            if op.is_load or op.is_store:
+                self.lsq.remove(head)
+                if op.is_store:
+                    self.memory.store_access(op.mem_addr)
+            if op.is_branch:
+                self.stats.branches += 1
+                # ER's unmap condition is commit-scoped: the shadow-copy
+                # references fall away only now (see rename/checkpoints).
+                self.ckpts.commit_retire(head.checkpoint)
+            if head.prev_vid >= 0:
+                cls = op.dest_class
+                v = self._vregs.pop(head.prev_vid - _VID_FLAG, None)
+                if (v is not None and v.preg >= 0
+                        and self.rf[cls].gen_matches(v.preg, v.preg_gen)):
+                    self._release_preg(cls, v.preg)
+            elif head.prev_preg >= 0:
+                cls = op.dest_class
+                if self.rf[cls].gen_matches(head.prev_preg, head.prev_gen):
+                    self._release_preg(cls, head.prev_preg)
+            self.stats.committed += 1
+            self._last_commit_cycle = now
+            budget -= 1
+
+    # ========================================================== recovery
+
+    def _recover(self, branch: InFlight) -> None:
+        """Branch misprediction: squash younger, restore rename state,
+        redirect fetch."""
+        while self.rob and self.rob[-1].seq > branch.seq:
+            self._squash(self.rob.pop())
+        self._fetch_buffer.clear()
+        self.ckpts.recover(branch.checkpoint)
+        self.branch_unit.ras.restore(branch.checkpoint.ras)
+        self.branch_unit.history = branch.checkpoint.history
+        self._fetch_idx = branch.trace_idx + 1
+        self._fetch_stall_until = max(
+            self._fetch_stall_until, self.now + self.cfg.mispredict_redirect
+        )
+
+    def _squash(self, instr: InFlight) -> None:
+        instr.squashed = True
+        self.stats.squashed += 1
+        self.sched.release_entry(instr)
+        if instr.checkpoint is not None:
+            # Covers branches that resolved (stack-released) but still
+            # hold commit-scoped ER references; idempotent otherwise.
+            self.ckpts.discard(instr.checkpoint)
+        for rec in instr.sources:
+            if rec.counted:
+                rec.counted = False
+                self.refcounts[rec.reg_class].drop_consumer(rec.preg)
+                self._after_unref(rec.reg_class, rec.preg)
+        if instr.dest_vid >= 0:
+            cls = instr.op.dest_class
+            v = self._vregs.pop(instr.dest_vid - _VID_FLAG, None)
+            if (v is not None and v.preg >= 0
+                    and self.rf[cls].gen_matches(v.preg, v.preg_gen)):
+                self._release_preg(cls, v.preg)
+        elif instr.dest_preg >= 0:
+            cls = instr.op.dest_class
+            rf = self.rf[cls]
+            if rf.gen_matches(instr.dest_preg, instr.dest_gen):
+                self._release_preg(cls, instr.dest_preg)
+        if (instr.op.is_load or instr.op.is_store) and not instr.committed:
+            self.lsq.remove(instr)
+
+    # ========================================================== finalize
+
+    def _finalize(self) -> None:
+        stats = self.stats
+        stats.cycles = self.now
+        stats.branch_mispredict_rate = self.branch_unit.mispredict_rate
+        stats.il1_miss_rate = self.memory.il1.miss_rate
+        stats.dl1_miss_rate = self.memory.dl1.miss_rate
+        stats.l2_miss_rate = self.memory.l2.miss_rate
+
+    # ====================================================== debug helpers
+
+    def assert_invariants(self) -> None:
+        """Cross-structure consistency checks (used by tests)."""
+        for rf in self.rf.values():
+            rf.assert_consistent()
+        self.sched.drain_check()
+
+
+def simulate(
+    config: MachineConfig,
+    trace: Trace,
+    max_insts: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+) -> SimStats:
+    """One-shot convenience: build a machine, run a trace, return stats."""
+    return Machine(config).run(trace, max_insts=max_insts, max_cycles=max_cycles)

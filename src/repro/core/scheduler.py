@@ -1,0 +1,112 @@
+"""Issue queue (scheduler) with wakeup/select.
+
+Entries wait for their source operands' speculative wakeup broadcasts;
+ready entries are selected oldest-first, up to the machine width per
+cycle.  Wakeup is *speculative*: a load broadcasts at its assumed DL1-hit
+latency, so dependents can issue before the hit/miss outcome is known and
+must be verified at select (the machine replays them selectively if a
+source is not actually ready — Table 1's "speculative scheduling,
+selective recovery for latency mispredictions").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.inflight import InFlight
+from repro.isa.opcodes import RegClass
+
+
+class Scheduler:
+    """Bounded issue queue for one machine (both register classes)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.occupancy = 0
+        self._ready: List[Tuple[int, InFlight]] = []  # (seq, instr) min-heap
+        self._waiters: Dict[Tuple[int, int], List[InFlight]] = {}
+        self.max_occupancy = 0
+
+    @property
+    def has_space(self) -> bool:
+        return self.occupancy < self.capacity
+
+    # ----------------------------------------------------------- insert
+
+    def insert(self, instr: InFlight, unready: List[Tuple[RegClass, int]]) -> None:
+        """Add a renamed instruction; ``unready`` lists (class, preg)
+        operands whose producers have not yet broadcast."""
+        if not self.has_space:
+            raise RuntimeError("scheduler overflow: caller must check has_space")
+        self.occupancy += 1
+        self.max_occupancy = max(self.max_occupancy, self.occupancy)
+        instr.in_scheduler = True
+        self.park(instr, unready)
+
+    def park(
+        self,
+        instr: InFlight,
+        unready: List[Tuple[RegClass, int]],
+        extra_missing: int = 0,
+    ) -> None:
+        """(Re)register an already-resident entry to wait on operands.
+
+        ``unready`` lists operands awaiting a producer broadcast;
+        ``extra_missing`` counts operands whose readiness time is already
+        known and will arrive via timer wakeups.  Used both at insert and
+        when a select-time verification fails.
+        """
+        instr.missing = len(unready) + extra_missing
+        if instr.missing == 0:
+            self.push_ready(instr)
+            return
+        for reg_class, preg in unready:
+            self._waiters.setdefault((int(reg_class), preg), []).append(instr)
+
+    def push_ready(self, instr: InFlight) -> None:
+        heapq.heappush(self._ready, (instr.seq, instr))
+
+    # ----------------------------------------------------------- wakeup
+
+    def wake(self, reg_class: RegClass, preg: int) -> None:
+        """Broadcast: wake entries waiting on (class, preg)."""
+        waiters = self._waiters.pop((int(reg_class), preg), None)
+        if not waiters:
+            return
+        for instr in waiters:
+            if instr.squashed or not instr.in_scheduler:
+                continue
+            instr.missing -= 1
+            if instr.missing <= 0:
+                self.push_ready(instr)
+
+    def timer_wake(self, instr: InFlight) -> None:
+        """A scheduled re-wake (known future readiness) arrived."""
+        if instr.squashed or not instr.in_scheduler:
+            return
+        instr.missing -= 1
+        if instr.missing <= 0:
+            self.push_ready(instr)
+
+    # ----------------------------------------------------------- select
+
+    def pop_ready(self) -> Optional[InFlight]:
+        """Oldest ready, live entry; None if none."""
+        while self._ready:
+            _, instr = heapq.heappop(self._ready)
+            if instr.squashed or not instr.in_scheduler or instr.issued:
+                continue
+            return instr
+        return None
+
+    def release_entry(self, instr: InFlight) -> None:
+        """Free the queue slot (at verified issue or squash)."""
+        if instr.in_scheduler:
+            instr.in_scheduler = False
+            self.occupancy -= 1
+
+    def drain_check(self) -> None:
+        """Debug invariant: occupancy matches live resident entries."""
+        if self.occupancy < 0:
+            raise AssertionError("scheduler occupancy underflow")

@@ -1,0 +1,128 @@
+"""Simulation statistics.
+
+Gathers everything the paper's figures need:
+
+* IPC (Table 2, Figures 9/10/12 speedups);
+* register lifetime split into the three phases of Figure 1/8 —
+  allocate→write, write→last-read, last-read→release;
+* average register file occupancy (Figure 11);
+* PRI/ER event counters (inlines, early frees, duplicate deallocations,
+  WAR pins) used in analysis and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class LifetimeStats:
+    """Accumulates physical-register lifetime phases (cycles)."""
+
+    releases: int = 0
+    alloc_to_write: int = 0
+    write_to_last_read: int = 0
+    last_read_to_release: int = 0
+
+    def record(self, alloc, write, last_read, release) -> None:
+        """Record one register's lifetime at release time.
+
+        ``write``/``last_read`` may be None for registers that were never
+        written (squashed producers) or never read; the phases collapse
+        accordingly, as in the paper's measurement.
+        """
+        write_eff = write if write is not None else release
+        read_eff = last_read if last_read is not None else write_eff
+        read_eff = max(read_eff, write_eff)
+        self.releases += 1
+        self.alloc_to_write += max(0, write_eff - alloc)
+        self.write_to_last_read += max(0, read_eff - write_eff)
+        self.last_read_to_release += max(0, release - read_eff)
+
+    @property
+    def avg_alloc_to_write(self) -> float:
+        return self.alloc_to_write / self.releases if self.releases else 0.0
+
+    @property
+    def avg_write_to_last_read(self) -> float:
+        return self.write_to_last_read / self.releases if self.releases else 0.0
+
+    @property
+    def avg_last_read_to_release(self) -> float:
+        return self.last_read_to_release / self.releases if self.releases else 0.0
+
+    @property
+    def avg_total(self) -> float:
+        return (
+            self.avg_alloc_to_write
+            + self.avg_write_to_last_read
+            + self.avg_last_read_to_release
+        )
+
+
+@dataclass
+class SimStats:
+    """Top-level counters for one simulation run."""
+
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0
+    renamed: int = 0
+    issued: int = 0
+    issue_replays: int = 0  # selects that failed verification (latency misspec)
+    war_replays: int = 0  # REPLAY-policy WAR violations detected
+    squashed: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    rename_stall_regs: int = 0  # cycles rename stalled for a free register
+    rename_stall_other: int = 0
+    #: Virtual-physical mode: selects denied because no physical register
+    #: was available to bind at issue.
+    vp_alloc_stalls: int = 0
+
+    # PRI / ER counters
+    inline_attempts: int = 0  # narrow results seen at retire
+    inlined: int = 0  # map entries actually rewritten (WAW check passed)
+    inline_waw_dropped: int = 0  # narrow but entry already remapped (Fig 7)
+    pri_early_frees: int = 0
+    pri_frees_deferred: int = 0  # inlined but pinned by refs at retire time
+    er_early_frees: int = 0
+    duplicate_deallocs: int = 0
+
+    # occupancy integrals (sum over cycles of allocated registers)
+    occupancy_sum: Dict[str, int] = field(default_factory=lambda: {"int": 0, "fp": 0})
+    lifetimes: Dict[str, LifetimeStats] = field(
+        default_factory=lambda: {"int": LifetimeStats(), "fp": LifetimeStats()}
+    )
+
+    # branch predictor / cache summaries, filled at end of run
+    branch_mispredict_rate: float = 0.0
+    il1_miss_rate: float = 0.0
+    dl1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    def avg_occupancy(self, reg_class: str = "int") -> float:
+        return self.occupancy_sum[reg_class] / self.cycles if self.cycles else 0.0
+
+    def lifetime(self, reg_class: str = "int") -> LifetimeStats:
+        return self.lifetimes[reg_class]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        life = self.lifetimes["int"]
+        return (
+            f"cycles={self.cycles} committed={self.committed} ipc={self.ipc:.3f} "
+            f"mispredict_rate={self.branch_mispredict_rate:.3f} "
+            f"dl1_miss={self.dl1_miss_rate:.3f} "
+            f"int_occ={self.avg_occupancy('int'):.1f} "
+            f"inlined={self.inlined} pri_frees={self.pri_early_frees} "
+            f"er_frees={self.er_early_frees} "
+            f"lifetime(int)={life.avg_total:.1f}cyc "
+            f"[{life.avg_alloc_to_write:.1f}/{life.avg_write_to_last_read:.1f}/"
+            f"{life.avg_last_read_to_release:.1f}]"
+        )

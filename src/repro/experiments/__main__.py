@@ -1,0 +1,96 @@
+"""CLI entry point for the experiment harness."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    RunSpec,
+    figure1,
+    figure2,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    table1,
+    table2,
+)
+
+_FIGURES = {1: figure1, 2: figure2, 8: figure8, 9: figure9,
+            10: figure10, 11: figure11, 12: figure12}
+_TABLES = {1: table1, 2: table2}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("--figure", type=int, choices=sorted(_FIGURES),
+                        action="append", default=[])
+    parser.add_argument("--table", type=int, choices=sorted(_TABLES),
+                        action="append", default=[])
+    parser.add_argument("--all", action="store_true",
+                        help="run every table and figure")
+    parser.add_argument("--length", type=int, default=6000,
+                        help="timed instructions per run (default 6000)")
+    parser.add_argument("--warmup", type=int, default=20000,
+                        help="untimed warmup instructions (default 20000)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--width", type=int, choices=(4, 8), default=None,
+                        help="restrict to one machine width (default: both)")
+    parser.add_argument("--output", default=None, metavar="DIR",
+                        help="also write each result to DIR/<name>.txt")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for benchmark-parallel "
+                             "figures (results are identical to --jobs 1)")
+    args = parser.parse_args(argv)
+
+    figures = sorted(set(args.figure))
+    tables = sorted(set(args.table))
+    if args.all:
+        figures = sorted(_FIGURES)
+        tables = sorted(_TABLES)
+    if not figures and not tables:
+        parser.error("nothing to do: pass --all, --figure N, or --table N")
+
+    spec = RunSpec(length=args.length, warmup=args.warmup, seed=args.seed)
+    widths = (args.width,) if args.width else (4, 8)
+
+    def emit(name: str, result) -> None:
+        text = result.render()
+        print(text)
+        if args.output:
+            import os
+
+            os.makedirs(args.output, exist_ok=True)
+            path = os.path.join(args.output, f"{name}.txt")
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+
+    for number in tables:
+        start = time.time()
+        if number == 1:
+            result = table1()
+        else:
+            result = table2(spec, widths=widths)
+        emit(f"table{number}", result)
+        print(f"[table {number}: {time.time() - start:.1f}s]\n")
+    for number in figures:
+        start = time.time()
+        if number == 2:
+            result = figure2(length=max(args.length, 10000), seed=args.seed)
+        elif number == 9:
+            result = _FIGURES[number](spec, widths=widths)
+        else:
+            result = _FIGURES[number](spec, widths=widths, jobs=args.jobs)
+        emit(f"figure{number}", result)
+        print(f"[figure {number}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Plain-text rendering helpers for experiment output.
+
+Every figure/table driver renders through these so the harness output is
+uniform: a title line, a column header, aligned rows, and an optional
+mean row — the same rows/series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(floatfmt.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, sep, fmt_line(headers), sep]
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    title: str,
+    items: Sequence,
+    width: int = 48,
+    baseline: float = 0.0,
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render labelled horizontal bars (one per (label, value) pair).
+
+    ``baseline`` subtracts a common offset before scaling, which makes
+    speedup charts (baseline=1.0) show the *gain* as bar length, the way
+    the paper's figures read.
+    """
+    items = [(str(label), float(value)) for label, value in items]
+    if not items:
+        return title
+    span = max(abs(v - baseline) for _, v in items) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    lines = [title]
+    for label, value in items:
+        length = int(round(abs(value - baseline) / span * width))
+        bar = "#" * length
+        lines.append(
+            f"{label.ljust(label_w)}  {floatfmt.format(value).rjust(8)}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    title: str,
+    items: Sequence,
+    segment_labels: Sequence[str],
+    width: int = 48,
+) -> str:
+    """Render stacked horizontal bars: each item is (label, [segments]).
+
+    Used for the Figure 1/8 lifetime breakdowns; each segment gets a
+    distinct fill character, keyed in a legend line.
+    """
+    fills = "#=+.@*"
+    items = [(str(label), [float(s) for s in segments])
+             for label, segments in items]
+    if not items:
+        return title
+    span = max(sum(segments) for _, segments in items) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    legend = "  ".join(
+        f"{fills[i % len(fills)]}={name}" for i, name in enumerate(segment_labels)
+    )
+    lines = [title, f"  [{legend}]"]
+    for label, segments in items:
+        bar = "".join(
+            fills[i % len(fills)] * int(round(s / span * width))
+            for i, s in enumerate(segments)
+        )
+        total = sum(segments)
+        lines.append(f"{label.ljust(label_w)}  {total:8.1f}  {bar}")
+    return "\n".join(lines)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (the paper reports arithmetic-mean speedups)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, for robustness checks alongside the paper's mean."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geomean requires positive values")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,193 @@
+"""Experiment runner: scheme registry, trace caching, and sweep drivers.
+
+The scheme names follow the paper's Figures 10 and 12 exactly:
+
+============================  ==================================================
+``base``                      conventional machine (free at redefiner commit)
+``ER``                        prior-work early release (Moudgill counters/flags)
+``PRI-refcount+ckptcount``    PRI, WAR via consumer refcounts, checkpoint
+                              reference counting (the realistic design point)
+``PRI-refcount+lazy``         PRI, consumer refcounts, lazy checkpoint patching
+``PRI-ideal+ckptcount``       PRI, instantaneous payload-RAM update, ckpt counts
+``PRI-ideal+lazy``            PRI, instantaneous payload-RAM update, lazy patch
+``PRI+ER``                    PRI (refcount+ckptcount) combined with ER
+``inf``                       unlimited physical registers (upper bound)
+============================  ==================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    EFFECTIVELY_INFINITE_REGS,
+    CheckpointPolicy,
+    MachineConfig,
+    WarPolicy,
+    eight_wide,
+    four_wide,
+)
+from repro.core.machine import simulate
+from repro.core.stats import SimStats
+from repro.workloads import SPEC_FP, SPEC_INT, Trace, generate_trace
+
+
+def _with_inf_regs(config: MachineConfig) -> MachineConfig:
+    return dataclasses.replace(
+        config,
+        int_phys_regs=EFFECTIVELY_INFINITE_REGS,
+        fp_phys_regs=EFFECTIVELY_INFINITE_REGS,
+    )
+
+
+#: Scheme name -> config transformer.
+SCHEMES: Dict[str, Callable[[MachineConfig], MachineConfig]] = {
+    "base": lambda c: c,
+    "ER": lambda c: c.with_early_release(),
+    "PRI-refcount+ckptcount": lambda c: c.with_pri(
+        WarPolicy.REFCOUNT, CheckpointPolicy.CKPTCOUNT
+    ),
+    "PRI-refcount+lazy": lambda c: c.with_pri(WarPolicy.REFCOUNT, CheckpointPolicy.LAZY),
+    "PRI-ideal+ckptcount": lambda c: c.with_pri(WarPolicy.IDEAL, CheckpointPolicy.CKPTCOUNT),
+    "PRI-ideal+lazy": lambda c: c.with_pri(WarPolicy.IDEAL, CheckpointPolicy.LAZY),
+    "PRI+ER": lambda c: c.with_pri(
+        WarPolicy.REFCOUNT, CheckpointPolicy.CKPTCOUNT
+    ).with_early_release(),
+    "inf": _with_inf_regs,
+}
+
+#: The scheme series of Figures 10 and 12, in the paper's legend order.
+FIGURE10_SCHEMES: Tuple[str, ...] = (
+    "ER",
+    "PRI-refcount+ckptcount",
+    "PRI-refcount+lazy",
+    "PRI-ideal+ckptcount",
+    "PRI-ideal+lazy",
+    "PRI+ER",
+    "inf",
+)
+
+INT_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in SPEC_INT)
+FP_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in SPEC_FP)
+
+
+def width_config(width: int) -> MachineConfig:
+    """The Table 1 machine for a given issue width."""
+    if width == 4:
+        return four_wide()
+    if width == 8:
+        return eight_wide()
+    raise ValueError(f"no Table 1 machine with width {width}")
+
+
+@dataclass
+class RunSpec:
+    """How much work each simulation does.
+
+    The paper runs 100M instructions after 400M of fast-forward; a Python
+    cycle simulator cannot, so the defaults are small and every driver
+    takes a spec so callers can scale up.
+    """
+
+    length: int = 6000
+    warmup: int = 20000
+    seed: int = 1
+
+
+class TraceCache:
+    """Per-process cache: one trace per (benchmark, spec)."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, int, int, int], Trace] = {}
+
+    def get(self, benchmark: str, spec: RunSpec) -> Trace:
+        key = (benchmark, spec.length, spec.warmup, spec.seed)
+        trace = self._cache.get(key)
+        if trace is None:
+            trace = generate_trace(
+                benchmark, spec.length, seed=spec.seed, warmup=spec.warmup
+            )
+            self._cache[key] = trace
+        return trace
+
+
+_GLOBAL_TRACES = TraceCache()
+
+
+def run_one(
+    benchmark: str,
+    scheme: str,
+    width: int = 4,
+    spec: Optional[RunSpec] = None,
+    traces: Optional[TraceCache] = None,
+) -> SimStats:
+    """Simulate one (benchmark, scheme, width) cell."""
+    spec = spec or RunSpec()
+    traces = traces or _GLOBAL_TRACES
+    config = SCHEMES[scheme](width_config(width))
+    return simulate(config, traces.get(benchmark, spec))
+
+
+def _run_row(args) -> tuple:
+    """Worker: one benchmark through every scheme (module-level so it
+    pickles for multiprocessing).  Regenerates the trace locally — traces
+    are deterministic in (benchmark, spec), so results are identical to
+    the serial path."""
+    benchmark, schemes, width, spec = args
+    traces = TraceCache()
+    row = {
+        scheme: run_one(benchmark, scheme, width, spec, traces)
+        for scheme in schemes
+    }
+    return benchmark, row
+
+
+def run_matrix(
+    benchmarks: Sequence[str],
+    schemes: Sequence[str],
+    width: int = 4,
+    spec: Optional[RunSpec] = None,
+    traces: Optional[TraceCache] = None,
+    jobs: int = 1,
+) -> Dict[str, Dict[str, SimStats]]:
+    """Simulate a benchmark x scheme matrix; returns [benchmark][scheme].
+
+    ``jobs > 1`` distributes whole benchmarks over worker processes; the
+    results are bit-identical to a serial run (each worker regenerates
+    the same deterministic trace).
+    """
+    spec = spec or RunSpec()
+    if jobs > 1 and len(benchmarks) > 1:
+        import concurrent.futures
+
+        work = [(b, tuple(schemes), width, spec) for b in benchmarks]
+        results: Dict[str, Dict[str, SimStats]] = {}
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            for benchmark, row in pool.map(_run_row, work):
+                results[benchmark] = row
+        return {b: results[b] for b in benchmarks}
+    traces = traces or _GLOBAL_TRACES
+    results = {}
+    for benchmark in benchmarks:
+        row: Dict[str, SimStats] = {}
+        for scheme in schemes:
+            row[scheme] = run_one(benchmark, scheme, width, spec, traces)
+        results[benchmark] = row
+    return results
+
+
+def speedups_over_base(
+    results: Dict[str, Dict[str, SimStats]]
+) -> Dict[str, Dict[str, float]]:
+    """Convert a matrix including 'base' into per-scheme IPC speedups."""
+    out: Dict[str, Dict[str, float]] = {}
+    for benchmark, row in results.items():
+        base_ipc = row["base"].ipc
+        out[benchmark] = {
+            scheme: (stats.ipc / base_ipc if base_ipc else 0.0)
+            for scheme, stats in row.items()
+            if scheme != "base"
+        }
+    return out

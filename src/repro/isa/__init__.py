@@ -1,0 +1,63 @@
+"""Synthetic ISA substrate.
+
+The paper's evaluation ran SPEC2000 Alpha binaries on a SimpleScalar
+derivative.  Neither the Alpha toolchain nor SPEC inputs are available
+here, so this package defines a small RISC-like micro-op ISA that carries
+exactly the information the pipeline model and the PRI mechanism need:
+operation class (latency), logical source/destination registers, produced
+value (for narrow-width checks), memory address (for the cache hierarchy),
+and branch outcome (for the branch predictors).
+"""
+
+from repro.isa.opcodes import (
+    OpClass,
+    RegClass,
+    LATENCY,
+    is_branch,
+    is_load,
+    is_store,
+    is_mem,
+    is_fp,
+)
+from repro.isa.registers import (
+    NUM_INT_ARCH_REGS,
+    NUM_FP_ARCH_REGS,
+    INT_ZERO_REG,
+    ArchReg,
+)
+from repro.isa.values import (
+    significant_bits,
+    fits_in_bits,
+    sign_extend,
+    is_all_zeros_or_ones,
+    fp_exponent_bits,
+    fp_significand_bits,
+    pack_fp,
+    MAX_UINT64,
+)
+from repro.isa.instruction import MicroOp, SourceOperand
+
+__all__ = [
+    "OpClass",
+    "RegClass",
+    "LATENCY",
+    "is_branch",
+    "is_load",
+    "is_store",
+    "is_mem",
+    "is_fp",
+    "NUM_INT_ARCH_REGS",
+    "NUM_FP_ARCH_REGS",
+    "INT_ZERO_REG",
+    "ArchReg",
+    "significant_bits",
+    "fits_in_bits",
+    "sign_extend",
+    "is_all_zeros_or_ones",
+    "fp_exponent_bits",
+    "fp_significand_bits",
+    "pack_fp",
+    "MAX_UINT64",
+    "MicroOp",
+    "SourceOperand",
+]

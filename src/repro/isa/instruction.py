@@ -1,0 +1,126 @@
+"""Micro-op representation.
+
+A :class:`MicroOp` is one element of a trace.  It carries the full
+dataflow fact set the simulator needs: which architected registers are
+read and written, the value each read is *expected* to observe (used to
+assert dataflow correctness end-to-end through rename, inlining, and the
+register file), the produced value, the memory address for loads/stores,
+and branch metadata.
+
+Micro-ops use ``__slots__`` — the cycle-level simulator allocates and
+touches millions of them, and attribute-dict overhead dominates otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import OpClass, RegClass, is_branch, is_load, is_store
+
+
+class SourceOperand:
+    """A source register read, with the value dataflow says it must see.
+
+    ``expected_value`` is the producer's result (or the initial register
+    content).  The simulator asserts that the value actually delivered to
+    the ALU — whether from the physical register file, the bypass network,
+    or an inlined immediate in the map/payload RAM — equals this.  Any PRI
+    bookkeeping bug (e.g. the WAR violation of Figure 6) surfaces as a
+    mismatch here.
+    """
+
+    __slots__ = ("reg_class", "index", "expected_value")
+
+    def __init__(self, reg_class: RegClass, index: int, expected_value: int) -> None:
+        self.reg_class = reg_class
+        self.index = index
+        self.expected_value = expected_value
+
+    def __repr__(self) -> str:
+        prefix = "r" if self.reg_class == RegClass.INT else "f"
+        return f"{prefix}{self.index}={self.expected_value:#x}"
+
+
+class MicroOp:
+    """One dynamic instruction of a synthetic trace."""
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "op",
+        "sources",
+        "dest_class",
+        "dest",
+        "result",
+        "mem_addr",
+        "taken",
+        "target",
+        "is_indirect",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        op: OpClass,
+        sources: Tuple[SourceOperand, ...] = (),
+        dest_class: RegClass = RegClass.INT,
+        dest: Optional[int] = None,
+        result: int = 0,
+        mem_addr: Optional[int] = None,
+        taken: bool = False,
+        target: int = 0,
+        is_indirect: bool = False,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.sources = sources
+        self.dest_class = dest_class
+        self.dest = dest
+        self.result = result
+        self.mem_addr = mem_addr
+        self.taken = taken
+        self.target = target
+        self.is_indirect = is_indirect
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.op)
+
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.op)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.op)
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dest is not None
+
+    def validate(self) -> None:
+        """Raise ValueError if the micro-op is internally inconsistent.
+
+        The trace generator calls this on every op it emits; the pipeline
+        relies on these invariants without rechecking them.
+        """
+        if self.is_load or self.is_store:
+            if self.mem_addr is None:
+                raise ValueError(f"memory op {self} lacks an address")
+        elif self.mem_addr is not None:
+            raise ValueError(f"non-memory op {self} carries an address")
+        if self.is_store and self.dest is not None:
+            raise ValueError(f"store {self} must not write a register")
+        if self.is_branch and self.dest is not None and self.op != OpClass.CALL:
+            raise ValueError(f"branch {self} must not write a register")
+        if len(self.sources) > 2:
+            raise ValueError(f"{self} has more than two source operands")
+
+    def __repr__(self) -> str:
+        dest = ""
+        if self.dest is not None:
+            prefix = "r" if self.dest_class == RegClass.INT else "f"
+            dest = f" -> {prefix}{self.dest}={self.result:#x}"
+        return f"MicroOp(#{self.seq} pc={self.pc:#x} {self.op.name}{dest})"

@@ -1,0 +1,59 @@
+"""Architected (logical) register definitions.
+
+The paper targets the Alpha AXP ISA: 32 integer registers (r31 reads as
+zero) and 32 floating-point registers (f31 reads as zero).  The rename map
+tables in :mod:`repro.rename` are sized by these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import RegClass
+
+#: Number of architected integer registers (Alpha: r0..r31).
+NUM_INT_ARCH_REGS = 32
+
+#: Number of architected floating-point registers (Alpha: f0..f31).
+NUM_FP_ARCH_REGS = 32
+
+#: The integer register hard-wired to zero (Alpha r31).  The generator
+#: never uses it as a destination and the renamer treats reads of it as an
+#: always-ready immediate zero.
+INT_ZERO_REG = 31
+
+#: The FP register hard-wired to zero (Alpha f31).
+FP_ZERO_REG = 31
+
+
+@dataclass(frozen=True)
+class ArchReg:
+    """An architected register name: (register class, index)."""
+
+    reg_class: RegClass
+    index: int
+
+    def __post_init__(self) -> None:
+        limit = NUM_INT_ARCH_REGS if self.reg_class == RegClass.INT else NUM_FP_ARCH_REGS
+        if not 0 <= self.index < limit:
+            raise ValueError(
+                f"register index {self.index} out of range for {self.reg_class.name}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True if this is the hard-wired zero register of its class."""
+        if self.reg_class == RegClass.INT:
+            return self.index == INT_ZERO_REG
+        return self.index == FP_ZERO_REG
+
+    def __repr__(self) -> str:
+        prefix = "r" if self.reg_class == RegClass.INT else "f"
+        return f"{prefix}{self.index}"
+
+
+def num_arch_regs(reg_class: RegClass) -> int:
+    """Number of architected registers in the given class."""
+    if reg_class == RegClass.INT:
+        return NUM_INT_ARCH_REGS
+    return NUM_FP_ARCH_REGS

@@ -1,0 +1,151 @@
+"""Value-significance helpers.
+
+Physical register inlining hinges on *significance compression*: a value
+whose ``n`` high-order bits are all zeroes or all ones (i.e. a correct
+sign extension of its low bits) can be stored in fewer bits.  These
+helpers define, precisely and in one place, what "fits in k bits" means
+for the whole code base:
+
+* Integer values are 64-bit two's-complement.  ``significant_bits(v)`` is
+  the smallest ``k`` such that ``v`` survives a round trip through
+  truncation to ``k`` bits and sign extension back to 64.
+* Floating-point values are 64-bit IEEE-754 patterns.  The paper inlines
+  an FP register only when the *entire pattern* is all zeroes or all ones,
+  and Figure 2 additionally reports how many exponent/significand bits
+  are significant.
+"""
+
+from __future__ import annotations
+
+import struct
+
+#: Largest representable unsigned 64-bit value; FP patterns live in
+#: ``[0, MAX_UINT64]``.
+MAX_UINT64 = (1 << 64) - 1
+
+_WORD_BITS = 64
+_SIGN_BIT = 1 << (_WORD_BITS - 1)
+_WORD_MASK = MAX_UINT64
+
+
+def to_signed64(value: int) -> int:
+    """Interpret an arbitrary Python int as a signed 64-bit quantity."""
+    value &= _WORD_MASK
+    if value & _SIGN_BIT:
+        return value - (1 << _WORD_BITS)
+    return value
+
+
+def to_unsigned64(value: int) -> int:
+    """Interpret an arbitrary Python int as an unsigned 64-bit quantity."""
+    return value & _WORD_MASK
+
+
+def significant_bits(value: int) -> int:
+    """Number of bits needed to hold ``value`` in two's complement.
+
+    This counts the sign bit, so ``significant_bits(0) == 1``,
+    ``significant_bits(-1) == 1`` (a single sign bit sign-extends to the
+    full word), ``significant_bits(1) == 2``, ``significant_bits(-2) == 2``.
+    Matches the paper's "all n high-order bits are either 1 or 0" check.
+    """
+    v = to_signed64(value)
+    if v >= 0:
+        return v.bit_length() + 1 if v else 1
+    # For negative v, k bits suffice iff v >= -(2**(k-1)).
+    return (-v - 1).bit_length() + 1
+
+
+def fits_in_bits(value: int, nbits: int) -> bool:
+    """True if ``value`` survives truncation to ``nbits`` + sign extension."""
+    if nbits <= 0:
+        return False
+    if nbits >= _WORD_BITS:
+        return True
+    return significant_bits(value) <= nbits
+
+
+def sign_extend(value: int, nbits: int) -> int:
+    """Sign-extend the low ``nbits`` of ``value`` to a signed 64-bit int.
+
+    This is the operation the hardware performs between the payload RAM
+    and the ALU input (Section 3.1).
+    """
+    if nbits <= 0:
+        raise ValueError("nbits must be positive")
+    if nbits >= _WORD_BITS:
+        return to_signed64(value)
+    mask = (1 << nbits) - 1
+    value &= mask
+    if value & (1 << (nbits - 1)):
+        value -= 1 << nbits
+    return value
+
+
+def is_all_zeros_or_ones(pattern: int) -> bool:
+    """True if a 64-bit pattern is all zero bits or all one bits.
+
+    This is the paper's inlining condition for floating-point registers:
+    "all values that are all zeroes or ones are stored in the map table".
+    """
+    pattern = to_unsigned64(pattern)
+    return pattern == 0 or pattern == MAX_UINT64
+
+
+def pack_fp(value: float) -> int:
+    """IEEE-754 double bit pattern of a Python float, as an unsigned int."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def unpack_fp(pattern: int) -> float:
+    """Python float from a 64-bit IEEE-754 pattern."""
+    return struct.unpack("<d", struct.pack("<Q", to_unsigned64(pattern)))[0]
+
+
+def fp_exponent_field(pattern: int) -> int:
+    """The 11-bit biased exponent field of an FP pattern."""
+    return (to_unsigned64(pattern) >> 52) & 0x7FF
+
+
+def fp_significand_field(pattern: int) -> int:
+    """The 52-bit significand (fraction) field of an FP pattern."""
+    return to_unsigned64(pattern) & ((1 << 52) - 1)
+
+
+def fp_exponent_bits(pattern: int) -> int:
+    """Significant bits of the exponent field, per Figure 2 (bottom left).
+
+    An exponent field that is all zeroes or all ones counts as 0
+    significant bits ("contains only zeroes or ones"); otherwise this is
+    the smallest ``k`` such that the 11-bit field is a sign extension of
+    its low ``k`` bits.
+    """
+    field = fp_exponent_field(pattern)
+    if field == 0 or field == 0x7FF:
+        return 0
+    # Two's-complement width of the 11-bit field.
+    if field & (1 << 10):
+        signed = field - (1 << 11)
+    else:
+        signed = field
+    if signed >= 0:
+        return signed.bit_length() + 1
+    return (-signed - 1).bit_length() + 1
+
+
+def fp_significand_bits(pattern: int) -> int:
+    """Significant bits of the significand field, per Figure 2 (bottom right).
+
+    A fraction of all zeroes or all ones counts as 0; otherwise the number
+    of *low-order* bits that carry information, i.e. 52 minus the number
+    of trailing zero bits of the fraction.  Narrow FP significands arise
+    from values like small integers stored as doubles, whose fraction has
+    a short prefix of meaningful bits; the paper counts a fraction as
+    ``k``-bit significant when only its ``k`` high-order bits are nonzero.
+    """
+    field = fp_significand_field(pattern)
+    if field == 0 or field == (1 << 52) - 1:
+        return 0
+    # Count leading (high-order) significant bits: 52 - trailing zeros.
+    trailing = (field & -field).bit_length() - 1
+    return 52 - trailing

@@ -1,0 +1,11 @@
+"""Memory hierarchy substrate (Table 1).
+
+32KB 2-way 32B-line IL1 (2 cycles), 32KB 4-way 16B-line DL1 (2 cycles),
+512KB 4-way 64B-line unified L2 (12 cycles), main memory (150 cycles).
+Caches are set-associative with LRU replacement and write-allocate.
+"""
+
+from repro.memory.cache import Cache, AccessResult
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "AccessResult", "MemoryHierarchy"]

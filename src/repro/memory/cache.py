@@ -1,0 +1,97 @@
+"""Set-associative cache model with LRU replacement.
+
+Timing-only: caches track presence of lines, not data (trace micro-ops
+carry their own values).  ``access`` returns whether the line hit and the
+latency contributed by this level; the hierarchy composes levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class AccessResult:
+    """Result of one access at one cache level."""
+
+    hit: bool
+    latency: int  # total cycles from this level down (includes misses below)
+
+
+class Cache:
+    """One level of set-associative cache, LRU, write-allocate.
+
+    ``next_level`` is another :class:`Cache` or ``None`` (then
+    ``memory_latency`` applies on miss).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: CacheConfig,
+        next_level: "Cache" = None,
+        memory_latency: int = 150,
+    ) -> None:
+        num_lines = config.size // config.line
+        if num_lines % config.assoc:
+            raise ValueError(f"{name}: lines not divisible by associativity")
+        self.name = name
+        self.config = config
+        self.num_sets = num_lines // config.assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: set count must be a power of two")
+        self.assoc = config.assoc
+        self.line_shift = config.line.bit_length() - 1
+        if (1 << self.line_shift) != config.line:
+            raise ValueError(f"{name}: line size must be a power of two")
+        self.next_level = next_level
+        self.memory_latency = memory_latency
+        # sets[i] is an ordered list of tags; index 0 is MRU.
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, addr: int) -> bool:
+        """Check presence without updating LRU or statistics."""
+        line = addr >> self.line_shift
+        tag = line >> (self.num_sets.bit_length() - 1)
+        entries = self._sets[line & (self.num_sets - 1)]
+        return tag in entries
+
+    def access(self, addr: int) -> AccessResult:
+        """Access a line; allocate on miss; return composed latency."""
+        line = addr >> self.line_shift
+        index = line & (self.num_sets - 1)
+        tag = line >> (self.num_sets.bit_length() - 1)
+        entries = self._sets[index]
+        if tag in entries:
+            if entries[0] != tag:
+                entries.remove(tag)
+                entries.insert(0, tag)
+            self.hits += 1
+            return AccessResult(hit=True, latency=self.config.latency)
+        self.misses += 1
+        if self.next_level is not None:
+            below = self.next_level.access(addr)
+            latency = self.config.latency + below.latency
+        else:
+            latency = self.config.latency + self.memory_latency
+        entries.insert(0, tag)
+        if len(entries) > self.assoc:
+            entries.pop()
+        return AccessResult(hit=False, latency=latency)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def flush(self) -> None:
+        """Empty the cache (used between experiment runs)."""
+        self._sets = [[] for _ in range(self.num_sets)]

@@ -1,0 +1,38 @@
+"""Register renaming substrate.
+
+Implements the structures of the paper's Section 2 and the PRI-specific
+extensions of Section 3:
+
+* :class:`~repro.rename.map_table.RenameMapTable` — a RAM map table whose
+  entries support two addressing modes: *pointer* (a physical register
+  number, the conventional case) and *immediate* (a narrow value inlined
+  into the entry, the paper's contribution).
+* :class:`~repro.rename.cam_map.CamMapTable` — a CAM map table, provided
+  to demonstrate Section 2.1's argument that PRI is practical only with
+  RAM maps (a CAM map cannot hold the same inlined value for two logical
+  registers at once).
+* :class:`~repro.rename.free_list.FreeList` — tolerant of the duplicate
+  deallocations PRI creates (Section 3.2).
+* :class:`~repro.rename.refcount.RefCountTable` — consumer and checkpoint
+  reference counts (Sections 3.2-3.4).
+* :class:`~repro.rename.checkpoints.CheckpointManager` — shadow maps for
+  control speculation, with lazy patching or checkpoint counting.
+"""
+
+from repro.rename.map_table import MapEntry, RenameMapTable, EntryMode
+from repro.rename.cam_map import CamMapTable, CamInlineError
+from repro.rename.free_list import FreeList
+from repro.rename.refcount import RefCountTable
+from repro.rename.checkpoints import Checkpoint, CheckpointManager
+
+__all__ = [
+    "MapEntry",
+    "RenameMapTable",
+    "EntryMode",
+    "CamMapTable",
+    "CamInlineError",
+    "FreeList",
+    "RefCountTable",
+    "Checkpoint",
+    "CheckpointManager",
+]

@@ -1,0 +1,99 @@
+"""CAM rename map table (Figure 4), with the PRI incompatibility the
+paper argues in Section 2.1.
+
+In a CAM map the number of entries equals the number of *physical*
+registers; each entry stores a logical register number and a valid bit,
+and the physical register number is encoded positionally.  Checkpoints
+copy only the valid bits.
+
+Because the physical register number is the entry's *position*, using it
+to encode an inlined value means a given value has exactly one slot — two
+logical registers cannot both hold the inlined value 0 at the same time.
+:meth:`CamMapTable.try_inline` implements that faithfully and raises
+:class:`CamInlineError` on the conflicting case, demonstrating why PRI is
+only practical with RAM maps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class CamInlineError(RuntimeError):
+    """Raised when a CAM map cannot represent a second copy of a value."""
+
+
+class CamMapTable:
+    """CAM map table for one register class."""
+
+    def __init__(self, num_logical: int, num_physical: int) -> None:
+        self.num_logical = num_logical
+        self.num_physical = num_physical
+        self._lreg: List[int] = [-1] * num_physical
+        self._valid: List[bool] = [False] * num_physical
+        #: Positional value-encoding space for the inlining demonstration:
+        #: value v (0 <= v < num_physical) is "stored" by dedicating the
+        #: entry at position v.
+        self._inlined_value_slots: List[Optional[int]] = [None] * num_physical
+
+    # ------------------------------------------------------------- reads
+
+    def lookup(self, lreg: int) -> int:
+        """Associative search: physical register currently mapped to
+        ``lreg``, or -1 if unmapped."""
+        for preg in range(self.num_physical):
+            if self._valid[preg] and self._lreg[preg] == lreg:
+                return preg
+        return -1
+
+    # ------------------------------------------------------------ writes
+
+    def allocate(self, lreg: int, preg: int) -> None:
+        """Map ``lreg`` to ``preg``: write the entry, clear the old
+        mapping's valid bit."""
+        old = self.lookup(lreg)
+        if old >= 0:
+            self._valid[old] = False
+        self._lreg[preg] = lreg
+        self._valid[preg] = True
+
+    def invalidate(self, preg: int) -> None:
+        self._valid[preg] = False
+
+    def try_inline(self, lreg: int, value: int) -> int:
+        """Attempt to store ``value`` for ``lreg`` positionally.
+
+        Returns the slot used.  Raises :class:`CamInlineError` when the
+        value's slot is already occupied by a *different* logical register
+        — the structural limitation that rules CAM maps out for PRI.
+        """
+        if not 0 <= value < self.num_physical:
+            raise CamInlineError(
+                f"value {value} outside the positional name space "
+                f"[0, {self.num_physical})"
+            )
+        holder = self._inlined_value_slots[value]
+        if holder is not None and holder != lreg:
+            raise CamInlineError(
+                f"value {value} already inlined for logical register "
+                f"{holder}; a CAM map can hold only one copy per value"
+            )
+        old = self.lookup(lreg)
+        if old >= 0:
+            self._valid[old] = False
+        self._inlined_value_slots[value] = lreg
+        return value
+
+    def release_inlined(self, value: int) -> None:
+        self._inlined_value_slots[value] = None
+
+    # ------------------------------------------------------ checkpointing
+
+    def snapshot_valid_bits(self) -> List[bool]:
+        """CAM checkpointing copies only the valid bits (Section 2.1)."""
+        return list(self._valid)
+
+    def restore_valid_bits(self, snap: List[bool]) -> None:
+        if len(snap) != self.num_physical:
+            raise ValueError("snapshot size mismatch")
+        self._valid = list(snap)

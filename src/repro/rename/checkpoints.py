@@ -1,0 +1,207 @@
+"""Rename-map checkpoints for control speculation (Sections 2.3, 3.2).
+
+A checkpoint is taken at every renamed branch (as in the MIPS R10000) and
+holds: shadow copies of both map tables, the return-address stack, and
+the global branch history.  Each checkpoint also takes references on
+every physical register its shadow maps name, in two scopes:
+
+* **resolve-scoped** references (``checkpoint_refs``) — dropped as soon as
+  the branch resolves, when the shadow map can no longer be a recovery
+  target.  This is PRI's ``ckptcount`` policy, modelled on the aggressive
+  checkpoint reclamation of Akkary et al. [29].
+* **commit-scoped** references (``er_checkpoint_refs``) — dropped only
+  when the branch commits (or is squashed).  This models the early-release
+  scheme's requirement that the *unmap flag be true for current and
+  checkpointed copies* [27]: ER predates checkpoint reference counting,
+  and propagating unmap flags into live shadow copies is exactly the
+  update complexity Section 3.2 calls non-trivial, so the conservative
+  implementation keeps a register pinned while any shadow copy from an
+  uncommitted branch still names it.
+
+For PRI's ``lazy`` policy, :meth:`CheckpointManager.patch_inlined` walks
+the live checkpoints and rewrites stale pointers to the inlined immediate
+(modelling the background copy logic of Section 3.2), dropping their
+resolve-scoped references so the register can free immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.opcodes import RegClass
+from repro.rename.map_table import EntryMode, MapEntry, RenameMapTable
+from repro.rename.refcount import RefCountTable
+
+
+class Checkpoint:
+    """Shadow state for one renamed branch."""
+
+    __slots__ = (
+        "branch_seq",
+        "snapshots",
+        "ras",
+        "history",
+        "resolve_released",
+        "commit_released",
+    )
+
+    def __init__(self, branch_seq, snapshots, ras, history):
+        self.branch_seq = branch_seq
+        #: Mapping RegClass -> list[MapEntry]
+        self.snapshots: Dict[RegClass, List[MapEntry]] = snapshots
+        self.ras: List[int] = ras
+        self.history: int = history
+        self.resolve_released = False
+        self.commit_released = False
+
+    def pointer_entries(self, reg_class: RegClass) -> List[int]:
+        return [
+            e.value
+            for e in self.snapshots[reg_class]
+            if e.mode == EntryMode.POINTER and e.value >= 0
+        ]
+
+
+class CheckpointManager:
+    """Bounded stack of checkpoints, oldest first.
+
+    ``on_unref(reg_class, preg)`` — if set — is invoked after any
+    reference drop, so the machine can re-check pending early frees.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        maps: Dict[RegClass, RenameMapTable],
+        refcounts: Dict[RegClass, RefCountTable],
+        track_er_refs: bool = False,
+        track_refs: bool = True,
+    ) -> None:
+        self.capacity = capacity
+        self.maps = maps
+        self.refcounts = refcounts
+        self.track_er_refs = track_er_refs
+        #: Disabled in virtual-physical mode, where map pointers name
+        #: unbounded virtual tags rather than physical registers.
+        self.track_refs = track_refs
+        self.on_unref: Optional[Callable[[RegClass, int], None]] = None
+        self._stack: List[Checkpoint] = []
+        self.taken = 0
+        self.patches_applied = 0
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    @property
+    def full(self) -> bool:
+        return len(self._stack) >= self.capacity
+
+    def checkpoints(self) -> List[Checkpoint]:
+        return list(self._stack)
+
+    # ------------------------------------------------------------ create
+
+    def take(self, branch_seq: int, ras: List[int], history: int) -> Optional[Checkpoint]:
+        """Checkpoint the current rename state; None when full (the
+        renamer must stall)."""
+        if self.full:
+            return None
+        snapshots = {cls: table.snapshot() for cls, table in self.maps.items()}
+        ckpt = Checkpoint(branch_seq, snapshots, ras, history)
+        if self.track_refs:
+            for cls in snapshots:
+                counts = self.refcounts[cls]
+                for preg in ckpt.pointer_entries(cls):
+                    counts.add_checkpoint_ref(preg)
+                    if self.track_er_refs:
+                        counts.add_er_checkpoint_ref(preg)
+        self._stack.append(ckpt)
+        self.taken += 1
+        return ckpt
+
+    # ----------------------------------------------------------- release
+
+    def _drop_resolve_refs(self, ckpt: Checkpoint) -> None:
+        if ckpt.resolve_released:
+            return
+        ckpt.resolve_released = True
+        if not self.track_refs:
+            return
+        for cls in ckpt.snapshots:
+            counts = self.refcounts[cls]
+            for preg in ckpt.pointer_entries(cls):
+                counts.drop_checkpoint_ref(preg)
+                if self.on_unref is not None:
+                    self.on_unref(cls, preg)
+
+    def _drop_commit_refs(self, ckpt: Checkpoint) -> None:
+        if ckpt.commit_released or not self.track_er_refs or not self.track_refs:
+            ckpt.commit_released = True
+            return
+        ckpt.commit_released = True
+        for cls in ckpt.snapshots:
+            counts = self.refcounts[cls]
+            for preg in ckpt.pointer_entries(cls):
+                counts.drop_er_checkpoint_ref(preg)
+                if self.on_unref is not None:
+                    self.on_unref(cls, preg)
+
+    def release(self, ckpt: Checkpoint) -> None:
+        """The branch resolved: the shadow map can never be a recovery
+        target again.  Drops resolve-scoped references and removes the
+        checkpoint from the stack; commit-scoped (ER) references persist
+        until :meth:`commit_retire` or :meth:`discard`."""
+        try:
+            self._stack.remove(ckpt)
+        except ValueError:
+            pass
+        self._drop_resolve_refs(ckpt)
+
+    def commit_retire(self, ckpt: Checkpoint) -> None:
+        """The branch committed: drop the ER (commit-scoped) references."""
+        self._drop_commit_refs(ckpt)
+
+    def discard(self, ckpt: Checkpoint) -> None:
+        """The branch was squashed: drop everything."""
+        self._drop_resolve_refs(ckpt)
+        self._drop_commit_refs(ckpt)
+
+    def recover(self, ckpt: Checkpoint) -> None:
+        """Misprediction recovery to ``ckpt``: restore the maps from its
+        shadow copies and discard every *younger* checkpoint.  ``ckpt``
+        itself stays in the stack — the machine releases it right after
+        (the branch has resolved)."""
+        index = self._stack.index(ckpt)
+        for cls, table in self.maps.items():
+            table.restore(ckpt.snapshots[cls])
+        for discarded in self._stack[index + 1:]:
+            self._drop_resolve_refs(discarded)
+            self._drop_commit_refs(discarded)
+        del self._stack[index + 1:]
+
+    # ----------------------------------------------------- lazy patching
+
+    def patch_inlined(self, reg_class: RegClass, preg: int, value: int) -> int:
+        """Rewrite stale pointers to ``preg`` in all live checkpointed
+        copies to the inlined immediate (the lazy-update policy), dropping
+        their resolve-scoped references.  Returns the entries patched."""
+        counts = self.refcounts[reg_class]
+        patched = 0
+        for ckpt in self._stack:
+            for entry in ckpt.snapshots[reg_class]:
+                if entry.mode == EntryMode.POINTER and entry.value == preg:
+                    entry.mode = EntryMode.IMMEDIATE
+                    entry.value = value
+                    counts.drop_checkpoint_ref(preg)
+                    if self.track_er_refs:
+                        counts.drop_er_checkpoint_ref(preg)
+                    patched += 1
+        self.patches_applied += patched
+        return patched
+
+    def clear(self) -> None:
+        """Drop all checkpoints (end of run), releasing their references."""
+        for ckpt in self._stack:
+            self._drop_resolve_refs(ckpt)
+            self._drop_commit_refs(ckpt)
+        self._stack.clear()

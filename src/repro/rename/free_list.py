@@ -1,0 +1,58 @@
+"""Physical register free list, tolerant of duplicate deallocation.
+
+Section 3.2: when PRI frees a register early at retire, the *next writer*
+of the same logical register will later try to free it again at commit
+(it has no way to know about the early release).  The free-list manager
+must ensure a register enters the list at most once per allocation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+
+class FreeList:
+    """FIFO free list over physical register numbers.
+
+    ``release`` returns False (and does nothing) for a register that is
+    already free — the duplicate-deallocation case.  Callers that want to
+    treat duplicates as errors can check the return value.
+    """
+
+    def __init__(self, pregs: Iterable[int]) -> None:
+        self._queue = deque(pregs)
+        self._free = set(self._queue)
+        if len(self._free) != len(self._queue):
+            raise ValueError("duplicate registers in initial free list")
+        self.duplicate_releases = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, preg: int) -> bool:
+        return preg in self._free
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def allocate(self) -> Optional[int]:
+        """Pop the next free register, or None when empty."""
+        if not self._queue:
+            return None
+        preg = self._queue.popleft()
+        self._free.discard(preg)
+        return preg
+
+    def release(self, preg: int) -> bool:
+        """Return a register to the list; duplicate releases are ignored.
+
+        Returns True if the register was actually (re)freed.
+        """
+        if preg in self._free:
+            self.duplicate_releases += 1
+            return False
+        self._queue.append(preg)
+        self._free.add(preg)
+        return True

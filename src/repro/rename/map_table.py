@@ -1,0 +1,151 @@
+"""RAM rename map table with dual addressing modes (Figure 3 + Section 3).
+
+A conventional RAM map entry holds a physical register number.  With
+physical register inlining, each entry gains a mode bit: *pointer* mode
+holds a physical register number, *immediate* mode holds a narrow value
+directly.  The table is indexed by logical register number; shadow copies
+(checkpoints) are handled by :mod:`repro.rename.checkpoints`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.isa.values import fits_in_bits, is_all_zeros_or_ones
+
+
+class EntryMode(enum.IntEnum):
+    """Addressing mode of one map entry (the mode bit of Section 1)."""
+
+    POINTER = 0
+    IMMEDIATE = 1
+
+
+class MapEntry:
+    """One rename map entry: (mode, payload).
+
+    In POINTER mode ``value`` is a physical register number; in IMMEDIATE
+    mode it is the inlined (full-precision) value.  The width check that
+    the value actually fits in the map's storage happens at inline time
+    (:meth:`RenameMapTable.try_inline`), so the entry itself can store the
+    semantic value.
+    """
+
+    __slots__ = ("mode", "value")
+
+    def __init__(self, mode: EntryMode, value: int) -> None:
+        self.mode = mode
+        self.value = value
+
+    @property
+    def is_immediate(self) -> bool:
+        return self.mode == EntryMode.IMMEDIATE
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (int(self.mode), self.value)
+
+    def __repr__(self) -> str:
+        kind = "imm" if self.is_immediate else "p"
+        return f"<{kind}:{self.value}>"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MapEntry)
+            and self.mode == other.mode
+            and self.value == other.value
+        )
+
+
+class RenameMapTable:
+    """RAM map table for one register class.
+
+    ``value_bits`` is the number of value bits an IMMEDIATE entry can hold
+    (Table 1: 7 for the 4-wide model, 10 for the 8-wide).  For FP maps the
+    convention differs: an FP register can be inlined only when its 64-bit
+    pattern is all zeroes or all ones, so ``fp_mode=True`` switches the
+    width check accordingly.
+    """
+
+    def __init__(self, num_logical: int, value_bits: int, fp_mode: bool = False) -> None:
+        if num_logical <= 0:
+            raise ValueError("map table needs at least one entry")
+        self.num_logical = num_logical
+        self.value_bits = value_bits
+        self.fp_mode = fp_mode
+        self._entries: List[MapEntry] = [
+            MapEntry(EntryMode.POINTER, -1) for _ in range(num_logical)
+        ]
+
+    # ------------------------------------------------------------- reads
+
+    def lookup(self, lreg: int) -> MapEntry:
+        """Current mapping for a logical register (rename-stage read)."""
+        return self._entries[lreg]
+
+    def pointer_of(self, lreg: int) -> int:
+        """Physical register the entry points at, or -1 if inlined/unset."""
+        entry = self._entries[lreg]
+        return -1 if entry.is_immediate else entry.value
+
+    def value_fits(self, value: int) -> bool:
+        """Would ``value`` fit in this map's immediate storage?"""
+        if self.fp_mode:
+            return is_all_zeros_or_ones(value)
+        return fits_in_bits(value, self.value_bits)
+
+    # ------------------------------------------------------------ writes
+
+    def set_pointer(self, lreg: int, preg: int) -> None:
+        """Rename-stage write: map ``lreg`` to physical register ``preg``."""
+        entry = self._entries[lreg]
+        entry.mode = EntryMode.POINTER
+        entry.value = preg
+
+    def set_immediate(self, lreg: int, value: int) -> None:
+        """Force an entry to immediate mode (rename-stage write used by
+        the load-immediate extension; retire-stage writes should go
+        through :meth:`try_inline`)."""
+        if not self.value_fits(value):
+            raise ValueError(f"value {value:#x} does not fit in {self.value_bits} bits")
+        entry = self._entries[lreg]
+        entry.mode = EntryMode.IMMEDIATE
+        entry.value = value
+
+    def try_inline(self, lreg: int, preg: int, value: int) -> bool:
+        """Retire-stage late update with the WAW check of Figure 7.
+
+        The narrow ``value`` produced into ``preg`` is written into the
+        entry only if the entry still points at ``preg`` — if a younger
+        writer has already remapped the logical register, the update is
+        dropped (returns False).
+        """
+        if not self.value_fits(value):
+            return False
+        entry = self._entries[lreg]
+        if entry.is_immediate or entry.value != preg:
+            return False
+        entry.mode = EntryMode.IMMEDIATE
+        entry.value = value
+        return True
+
+    # ------------------------------------------------------ checkpointing
+
+    def snapshot(self) -> List[MapEntry]:
+        """Shadow copy of the whole table (taken at each branch)."""
+        return [MapEntry(e.mode, e.value) for e in self._entries]
+
+    def restore(self, snap: List[MapEntry]) -> None:
+        """Recover the table from a shadow copy (misprediction recovery)."""
+        if len(snap) != self.num_logical:
+            raise ValueError("snapshot size mismatch")
+        for entry, saved in zip(self._entries, snap):
+            entry.mode = saved.mode
+            entry.value = saved.value
+
+    def pointers(self) -> List[int]:
+        """All physical registers currently named by POINTER entries."""
+        return [e.value for e in self._entries if not e.is_immediate and e.value >= 0]
+
+    def __len__(self) -> int:
+        return self.num_logical

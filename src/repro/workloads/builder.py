@@ -1,0 +1,213 @@
+"""Hand-construction of traces with automatic dataflow bookkeeping.
+
+:class:`TraceBuilder` lets tests and examples write micro-op sequences
+the way one writes assembly, while the builder tracks architectural
+register contents so every source operand carries the right expected
+value (the machine verifies these end-to-end):
+
+    b = TraceBuilder()
+    b.alu(dest=1, value=5)                  # r1 <- 5
+    b.alu(dest=2, srcs=[1], value=6)        # r2 <- f(r1)
+    b.load(dest=3, base=2, addr=0x1000, value=7)
+    b.store(data=3, base=2, addr=0x1008)
+    b.branch(taken=True, target=0x400100)
+    trace = b.build("example")
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.isa.instruction import MicroOp, SourceOperand
+from repro.isa.opcodes import OpClass, RegClass
+from repro.isa.registers import NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS
+from repro.workloads.trace import Trace
+
+_DEFAULT_PC = 0x0040_0000
+
+
+class TraceBuilder:
+    """Builds a :class:`~repro.workloads.trace.Trace` op by op."""
+
+    def __init__(
+        self,
+        initial_int: Optional[Sequence[int]] = None,
+        initial_fp: Optional[Sequence[int]] = None,
+        start_pc: int = _DEFAULT_PC,
+    ) -> None:
+        self.int_values: List[int] = (
+            list(initial_int) if initial_int else [0] * NUM_INT_ARCH_REGS
+        )
+        self.fp_values: List[int] = (
+            list(initial_fp) if initial_fp else [0] * NUM_FP_ARCH_REGS
+        )
+        self._initial_int = list(self.int_values)
+        self._initial_fp = list(self.fp_values)
+        self.ops: List[MicroOp] = []
+        self.pc = start_pc
+
+    # ------------------------------------------------------------ helpers
+
+    def _next_pc(self) -> int:
+        pc = self.pc
+        self.pc += 4
+        return pc
+
+    def _sources(self, regs: Sequence[int], reg_class: RegClass) -> tuple:
+        values = self.int_values if reg_class == RegClass.INT else self.fp_values
+        return tuple(SourceOperand(reg_class, r, values[r]) for r in regs)
+
+    def _emit(self, op: MicroOp) -> MicroOp:
+        op.validate()
+        self.ops.append(op)
+        if op.dest is not None:
+            if op.dest_class == RegClass.INT:
+                self.int_values[op.dest] = op.result
+            else:
+                self.fp_values[op.dest] = op.result
+        return op
+
+    # ----------------------------------------------------------- emitters
+
+    def alu(
+        self,
+        dest: int,
+        value: int,
+        srcs: Sequence[int] = (),
+        op_class: OpClass = OpClass.INT_ALU,
+        pc: Optional[int] = None,
+    ) -> MicroOp:
+        """Integer ALU op writing ``value`` to ``dest`` (``srcs`` read)."""
+        return self._emit(
+            MicroOp(
+                len(self.ops),
+                pc if pc is not None else self._next_pc(),
+                op_class,
+                sources=self._sources(srcs, RegClass.INT),
+                dest_class=RegClass.INT,
+                dest=dest,
+                result=value,
+            )
+        )
+
+    def fp(
+        self,
+        dest: int,
+        value: int,
+        srcs: Sequence[int] = (),
+        op_class: OpClass = OpClass.FP_ADD,
+    ) -> MicroOp:
+        """FP op writing bit pattern ``value`` to FP register ``dest``."""
+        return self._emit(
+            MicroOp(
+                len(self.ops),
+                self._next_pc(),
+                op_class,
+                sources=self._sources(srcs, RegClass.FP),
+                dest_class=RegClass.FP,
+                dest=dest,
+                result=value,
+            )
+        )
+
+    def load(
+        self,
+        dest: int,
+        addr: int,
+        value: int,
+        base: Optional[int] = None,
+        fp: bool = False,
+    ) -> MicroOp:
+        sources = self._sources([base] if base is not None else [], RegClass.INT)
+        return self._emit(
+            MicroOp(
+                len(self.ops),
+                self._next_pc(),
+                OpClass.FP_LOAD if fp else OpClass.LOAD,
+                sources=sources,
+                dest_class=RegClass.FP if fp else RegClass.INT,
+                dest=dest,
+                result=value,
+                mem_addr=addr,
+            )
+        )
+
+    def store(
+        self,
+        data: int,
+        addr: int,
+        base: Optional[int] = None,
+        fp: bool = False,
+    ) -> MicroOp:
+        data_class = RegClass.FP if fp else RegClass.INT
+        sources = list(self._sources([data], data_class))
+        if base is not None:
+            sources.extend(self._sources([base], RegClass.INT))
+        return self._emit(
+            MicroOp(
+                len(self.ops),
+                self._next_pc(),
+                OpClass.FP_STORE if fp else OpClass.STORE,
+                sources=tuple(sources),
+                dest=None,
+                mem_addr=addr,
+            )
+        )
+
+    def branch(
+        self,
+        taken: bool,
+        target: int = 0,
+        cond: Optional[int] = None,
+        pc: Optional[int] = None,
+    ) -> MicroOp:
+        """Conditional branch; ``cond`` optionally names a source register."""
+        sources = self._sources([cond] if cond is not None else [], RegClass.INT)
+        branch_pc = pc if pc is not None else self._next_pc()
+        op = self._emit(
+            MicroOp(
+                len(self.ops),
+                branch_pc,
+                OpClass.BRANCH,
+                sources=sources,
+                dest=None,
+                taken=taken,
+                target=target or branch_pc + 64,
+            )
+        )
+        if taken:
+            self.pc = op.target
+        return op
+
+    def call(self, target: int) -> MicroOp:
+        pc = self._next_pc()
+        op = self._emit(
+            MicroOp(len(self.ops), pc, OpClass.CALL, dest=None, taken=True,
+                    target=target)
+        )
+        self.pc = target
+        return op
+
+    def ret(self, target: int) -> MicroOp:
+        pc = self._next_pc()
+        op = self._emit(
+            MicroOp(len(self.ops), pc, OpClass.RETURN, dest=None, taken=True,
+                    target=target, is_indirect=True)
+        )
+        self.pc = target
+        return op
+
+    def nops(self, count: int, dest: int = 1, value: int = 0) -> None:
+        """Emit ``count`` independent fillers (no sources)."""
+        for _ in range(count):
+            self.alu(dest=dest, value=value)
+
+    # ------------------------------------------------------------- build
+
+    def build(self, name: str = "manual") -> Trace:
+        return Trace(
+            name,
+            self.ops,
+            initial_int=self._initial_int,
+            initial_fp=self._initial_fp,
+        )

@@ -1,0 +1,432 @@
+"""Synthetic trace generator.
+
+Expands a :class:`~repro.workloads.profiles.BenchmarkProfile` into a
+concrete micro-op stream with *consistent dataflow*: the generator tracks
+architectural register contents as it emits instructions, so every source
+operand records the exact value dataflow says it must observe.  The
+simulator asserts this end-to-end (rename → scheduler → register file /
+bypass / inlined immediate), which is what catches PRI bookkeeping bugs
+such as the WAR violation of the paper's Figure 6.
+
+The generator models:
+
+* instruction mix and load/store/branch structure from the profile;
+* producer-consumer distances via a geometric "recent destination" model
+  (short distances → tight dependence chains → low ILP);
+* pointer chasing (loads whose address depends on the previous load);
+* a static set of branch sites with biased or patterned outcomes, calls
+  and returns (exercising the RAS), and loop back-edges, laid out over a
+  code footprint that drives IL1 behaviour;
+* a three-region data working set (hot/warm/cold) with optional streaming,
+  driving DL1/L2/memory behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import MicroOp, SourceOperand
+from repro.isa.opcodes import OpClass, RegClass
+from repro.isa.registers import INT_ZERO_REG, NUM_INT_ARCH_REGS
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.trace import Trace
+from repro.workloads.value_models import FpValueModel, IntValueModel
+
+_CODE_BASE = 0x0040_0000
+_HOT_BASE = 0x1000_0000
+_WARM_BASE = 0x2000_0000
+_COLD_BASE = 0x4000_0000
+_FUNC_COUNT = 32
+
+
+class _BranchSite:
+    """One static branch with a fixed PC and an outcome process.
+
+    Three kinds: *easy* (strongly biased), *hard* (weakly biased — the
+    data-dependent branches predictors cannot learn), and *loop* (a fixed
+    trip count: taken ``k-1`` times then not taken once — bimodal
+    mispredicts the exit, gshare learns it when the history window covers
+    the trip count).
+    """
+
+    __slots__ = ("pc", "target", "bias", "taken_dir", "trip_count", "phase", "backward")
+
+    def __init__(self, pc, target, bias, taken_dir, trip_count, backward):
+        self.pc = pc
+        self.target = target
+        self.bias = bias
+        self.taken_dir = taken_dir
+        self.trip_count = trip_count  # 0 = biased site, else loop period
+        self.phase = 0
+        self.backward = backward
+
+    def outcome(self, rng: random.Random) -> bool:
+        if self.trip_count:
+            taken = self.phase < self.trip_count - 1
+            self.phase = (self.phase + 1) % self.trip_count
+            return taken
+        if rng.random() < self.bias:
+            return self.taken_dir
+        return not self.taken_dir
+
+
+class TraceGenerator:
+    """Generates micro-op traces from a benchmark profile.
+
+    Deterministic for a given ``(profile, seed)`` pair; regenerate rather
+    than persist traces.
+    """
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        # zlib.crc32, not hash(): str hashes are salted per process and
+        # would make traces irreproducible across runs.
+        self.rng = random.Random(zlib.crc32(profile.name.encode()) * 1_000_003 + seed)
+        self.int_model = IntValueModel(profile.int_widths)
+        self.fp_model = FpValueModel(
+            zero_frac=profile.fp_zero_frac,
+            ones_frac=profile.fp_ones_frac,
+            exp_narrow_frac=profile.fp_exp_narrow_frac,
+            sig_narrow_frac=profile.fp_sig_narrow_frac,
+        )
+        self._init_registers()
+        self._init_control_flow()
+        self._init_memory()
+        self._seq = 0
+        self._op_classes, self._op_weights = self._build_mix()
+
+    # ------------------------------------------------------------- setup
+
+    def _init_registers(self) -> None:
+        rng = self.rng
+        self.int_values = [self.int_model.sample(rng) for _ in range(NUM_INT_ARCH_REGS)]
+        self.int_values[INT_ZERO_REG] = 0
+        self.fp_values = [self.fp_model.sample(rng) for _ in range(NUM_INT_ARCH_REGS)]
+        # Recency lists: logical register indices, most recent last.
+        self.recent_int: List[int] = []
+        self.recent_fp: List[int] = []
+        self.last_load_dest: Optional[int] = None
+
+    def _init_control_flow(self) -> None:
+        p, rng = self.profile, self.rng
+        hard_frac = max(0.0, 1.0 - p.easy_site_frac - p.loop_site_frac)
+        # Random site placement: regular strides would alias whole site
+        # populations onto a few predictor/BTB sets.
+        footprint = max(p.code_footprint, 4096)
+        pcs = set()
+        while len(pcs) < p.branch_sites:
+            pcs.add(_CODE_BASE + rng.randrange(0, footprint, 4))
+        site_pcs = sorted(pcs)
+        self.sites: List[_BranchSite] = []
+        for i in range(p.branch_sites):
+            pc = site_pcs[i]
+            backward = rng.random() < p.backedge_frac
+            if backward:
+                target = max(_CODE_BASE, pc - rng.randrange(64, 2048, 4))
+            else:
+                target = pc + rng.randrange(8, 512, 4)
+            trip_count = 0
+            bias, taken_dir = p.easy_bias, rng.random() < 0.6
+            r = rng.random()
+            if r < p.loop_site_frac:
+                trip_count = rng.randint(4, 10)
+                taken_dir = True
+            elif r < p.loop_site_frac + hard_frac and i >= 8:
+                # Hard (data-dependent) branches live in the zipf tail:
+                # the hottest few branches in real code are loop branches
+                # and are well predicted.
+                bias = p.hard_bias
+            self.sites.append(
+                _BranchSite(pc, target, bias, taken_dir, trip_count, backward)
+            )
+        # Zipf-ish weights: a few hot loop branches dominate.
+        weights = [1.0 / (i + 1) for i in range(len(self.sites))]
+        total = sum(weights)
+        cum, acc = [], 0.0
+        for w in weights:
+            acc += w / total
+            cum.append(acc)
+        self._site_cum = cum
+        # Fixed call sites: (call PC, callee entry) pairs, so the BTB can
+        # learn call targets and the RAS predicts the matching returns.
+        entries = [
+            _CODE_BASE + rng.randrange(0, footprint, 4) for _ in range(_FUNC_COUNT)
+        ]
+        call_pcs = set()
+        while len(call_pcs) < _FUNC_COUNT * 2:
+            pc = _CODE_BASE + rng.randrange(0, footprint, 4)
+            if pc not in pcs:
+                call_pcs.add(pc)
+        self._call_sites = [(pc, rng.choice(entries)) for pc in sorted(call_pcs)]
+        self._return_pcs: List[int] = []
+        self._pc = _CODE_BASE
+
+    def _init_memory(self) -> None:
+        # Three engineered access classes (see profile docstring):
+        # * hot — random inside an 8KB region: DL1-resident after warmup;
+        # * l2  — a ring of lines that all map to the same DL1 set, more
+        #   of them than the DL1's associativity, so every access conflict-
+        #   misses the DL1 yet stays L2-resident (they occupy distinct L2
+        #   sets);
+        # * mem — a never-revisited pointer: compulsory miss to memory.
+        self._hot_size = 8 * 1024
+        dl1 = 32 * 1024 // 16 // 4  # sets in the paper's DL1 (512)
+        stride = dl1 * 16  # 8KB: same DL1 set, different L2 sets
+        self._l2_ring = [_WARM_BASE + i * stride for i in range(8)]
+        self._l2_idx = 0
+        self._mem_ptr = _COLD_BASE
+
+    def _build_mix(self) -> Tuple[List[OpClass], List[float]]:
+        p = self.profile
+        pairs = [
+            (OpClass.INT_ALU, p.alu_frac),
+            (OpClass.INT_MUL, p.mul_frac),
+            (OpClass.INT_DIV, p.div_frac),
+            (OpClass.LOAD, p.load_frac),
+            (OpClass.STORE, p.store_frac),
+            (OpClass.BRANCH, p.branch_frac),
+            (OpClass.FP_ADD, p.fp_add_frac),
+            (OpClass.FP_MUL, p.fp_mul_frac),
+            (OpClass.FP_DIV, p.fp_div_frac),
+        ]
+        classes = [c for c, w in pairs if w > 0]
+        weights = [w for _, w in pairs if w > 0]
+        cum, acc = [], 0.0
+        total = sum(weights)
+        for w in weights:
+            acc += w / total
+            cum.append(acc)
+        return classes, cum
+
+    # ----------------------------------------------------------- helpers
+
+    def _pick_site(self) -> _BranchSite:
+        u = self.rng.random()
+        lo, hi = 0, len(self._site_cum) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._site_cum[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.sites[lo]
+
+    def _pick_source(self, reg_class: RegClass) -> int:
+        """Choose a source logical register via the dependence model."""
+        p, rng = self.profile, self.rng
+        if reg_class == RegClass.INT and rng.random() < p.zero_reg_frac:
+            return INT_ZERO_REG
+        recent = self.recent_int if reg_class == RegClass.INT else self.recent_fp
+        if recent and rng.random() < p.src_recent_frac:
+            # Geometric distance into the recency list (1 = most recent).
+            dist = min(len(recent), 1 + int(rng.expovariate(1.0 / max(1.0, p.dep_mean))))
+            return recent[-dist]
+        limit = NUM_INT_ARCH_REGS - 1  # exclude the zero register
+        return rng.randrange(limit)
+
+    def _pick_dest(self, reg_class: RegClass) -> int:
+        p, rng = self.profile, self.rng
+        if rng.random() < p.dest_hot_frac:
+            return rng.randrange(p.dest_hot_regs)
+        return rng.randrange(p.dest_hot_regs, NUM_INT_ARCH_REGS - 1)
+
+    def _record_dest(self, reg_class: RegClass, index: int, value: int) -> None:
+        if reg_class == RegClass.INT:
+            self.int_values[index] = value
+            recent = self.recent_int
+        else:
+            self.fp_values[index] = value
+            recent = self.recent_fp
+        recent.append(index)
+        if len(recent) > 64:
+            del recent[:32]
+
+    def _source_operand(self, reg_class: RegClass, index: int) -> SourceOperand:
+        values = self.int_values if reg_class == RegClass.INT else self.fp_values
+        return SourceOperand(reg_class, index, values[index])
+
+    def _data_address(self) -> int:
+        p, rng = self.profile, self.rng
+        u = rng.random()
+        if u < p.mem_access_frac:
+            addr = self._mem_ptr
+            self._mem_ptr += 64  # fresh L2 line every time: always a miss
+            return addr
+        if u < p.mem_access_frac + p.l2_access_frac:
+            addr = self._l2_ring[self._l2_idx]
+            self._l2_idx = (self._l2_idx + 1) % len(self._l2_ring)
+            return addr
+        return _HOT_BASE + rng.randrange(0, self._hot_size, 8)
+
+    # ---------------------------------------------------------- emission
+
+    def next_op(self) -> MicroOp:
+        """Generate and return the next micro-op."""
+        rng = self.rng
+        u = rng.random()
+        op_class = self._op_classes[-1]
+        for cls, cum in zip(self._op_classes, self._op_weights):
+            if u <= cum:
+                op_class = cls
+                break
+        if op_class == OpClass.BRANCH:
+            op = self._emit_branch()
+        elif op_class == OpClass.LOAD:
+            op = self._emit_load()
+        elif op_class == OpClass.STORE:
+            op = self._emit_store()
+        elif op_class in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
+            op = self._emit_fp_alu(op_class)
+        else:
+            op = self._emit_int_alu(op_class)
+        op.validate()
+        self._seq += 1
+        return op
+
+    def _next_pc(self) -> int:
+        pc = self._pc
+        self._pc += 4
+        if self._pc >= _CODE_BASE + self.profile.code_footprint:
+            self._pc = _CODE_BASE
+        return pc
+
+    def _emit_int_alu(self, op_class: OpClass) -> MicroOp:
+        rng = self.rng
+        nsrc = 0 if (op_class == OpClass.INT_ALU and rng.random() < 0.10) else (
+            1 if rng.random() < 0.3 else 2
+        )
+        sources = tuple(
+            self._source_operand(RegClass.INT, self._pick_source(RegClass.INT))
+            for _ in range(nsrc)
+        )
+        dest = self._pick_dest(RegClass.INT)
+        result = self.int_model.sample(rng)
+        op = MicroOp(
+            self._seq, self._next_pc(), op_class,
+            sources=sources, dest_class=RegClass.INT, dest=dest, result=result,
+        )
+        self._record_dest(RegClass.INT, dest, result)
+        return op
+
+    def _emit_fp_alu(self, op_class: OpClass) -> MicroOp:
+        rng = self.rng
+        sources = tuple(
+            self._source_operand(RegClass.FP, self._pick_source(RegClass.FP))
+            for _ in range(2)
+        )
+        dest = self._pick_dest(RegClass.FP)
+        result = self.fp_model.sample(rng)
+        op = MicroOp(
+            self._seq, self._next_pc(), op_class,
+            sources=sources, dest_class=RegClass.FP, dest=dest, result=result,
+        )
+        self._record_dest(RegClass.FP, dest, result)
+        return op
+
+    def _emit_load(self) -> MicroOp:
+        p, rng = self.profile, self.rng
+        if self.last_load_dest is not None and rng.random() < p.pointer_chase_frac:
+            base_reg = self.last_load_dest
+        else:
+            base_reg = self._pick_source(RegClass.INT)
+        sources = (self._source_operand(RegClass.INT, base_reg),)
+        is_fp = rng.random() < p.fp_mem_frac
+        if is_fp:
+            dest_class, op_class = RegClass.FP, OpClass.FP_LOAD
+            result = self.fp_model.sample(rng)
+        else:
+            dest_class, op_class = RegClass.INT, OpClass.LOAD
+            result = self.int_model.sample(rng)
+        dest = self._pick_dest(dest_class)
+        op = MicroOp(
+            self._seq, self._next_pc(), op_class,
+            sources=sources, dest_class=dest_class, dest=dest, result=result,
+            mem_addr=self._data_address(),
+        )
+        self._record_dest(dest_class, dest, result)
+        if not is_fp:
+            self.last_load_dest = dest
+        return op
+
+    def _emit_store(self) -> MicroOp:
+        p, rng = self.profile, self.rng
+        is_fp = rng.random() < p.fp_mem_frac
+        data_class = RegClass.FP if is_fp else RegClass.INT
+        op_class = OpClass.FP_STORE if is_fp else OpClass.STORE
+        sources = (
+            self._source_operand(data_class, self._pick_source(data_class)),
+            self._source_operand(RegClass.INT, self._pick_source(RegClass.INT)),
+        )
+        return MicroOp(
+            self._seq, self._next_pc(), op_class,
+            sources=sources, dest=None, mem_addr=self._data_address(),
+        )
+
+    def _emit_branch(self) -> MicroOp:
+        p, rng = self.profile, self.rng
+        if self._return_pcs and rng.random() < p.call_frac * 1.2:
+            target = self._return_pcs.pop()
+            op = MicroOp(
+                self._seq, self._pc, OpClass.RETURN,
+                sources=(), dest=None, taken=True, target=target, is_indirect=True,
+            )
+            self._pc = target
+            return op
+        if rng.random() < p.call_frac and len(self._return_pcs) < 64:
+            pc, entry = rng.choice(self._call_sites)
+            self._return_pcs.append(pc + 4)
+            op = MicroOp(
+                self._seq, pc, OpClass.CALL,
+                sources=(), dest=None, taken=True, target=entry,
+            )
+            self._pc = entry
+            return op
+        site = self._pick_site()
+        taken = site.outcome(rng)
+        cond_reg = self._pick_source(RegClass.INT)
+        op = MicroOp(
+            self._seq, site.pc, OpClass.BRANCH,
+            sources=(self._source_operand(RegClass.INT, cond_reg),),
+            dest=None, taken=taken, target=site.target,
+        )
+        self._pc = site.target if taken else site.pc + 4
+        return op
+
+    def generate(self, length: int, warmup: int = 0) -> Trace:
+        """Generate a trace of ``length`` timed micro-ops.
+
+        ``warmup`` extra ops are generated *first* and attached as the
+        trace's untimed warmup prefix (the machine uses them to train
+        branch predictors and warm caches, standing in for the paper's
+        400M-instruction fast-forward).  The trace records the
+        architectural register contents at the start of the timed region.
+        """
+        warmup_ops = [self.next_op() for _ in range(warmup)]
+        initial_int = list(self.int_values)
+        initial_fp = list(self.fp_values)
+        ops = [self.next_op() for _ in range(length)]
+        return Trace(
+            self.profile.name, ops, seed=self.seed,
+            initial_int=initial_int, initial_fp=initial_fp,
+            warmup_ops=warmup_ops,
+        )
+
+
+def generate_trace(profile_or_name, length: int, seed: int = 0, warmup: int = None) -> Trace:
+    """Convenience: build a trace from a profile or benchmark name.
+
+    ``warmup`` defaults to the timed length, at least 20k ops — enough to
+    cover the code footprint and working set so the timed region sees
+    steady-state predictor and cache behaviour.
+    """
+    from repro.workloads.profiles import get_profile
+
+    profile = profile_or_name
+    if isinstance(profile_or_name, str):
+        profile = get_profile(profile_or_name)
+    if warmup is None:
+        warmup = max(length, 20_000)
+    return TraceGenerator(profile, seed=seed).generate(length, warmup=warmup)

@@ -1,0 +1,362 @@
+"""Per-benchmark statistical profiles.
+
+Each SPEC2000 benchmark the paper simulates is modelled by a
+:class:`BenchmarkProfile`.  Profiles are calibrated against what the paper
+itself reports per benchmark:
+
+* Table 2 — base IPC on the 4-wide and 8-wide models (recorded here as
+  ``paper_ipc_4w`` / ``paper_ipc_8w`` and compared in EXPERIMENTS.md).
+* Figure 2 — cumulative operand-width distributions (``int_widths``) and
+  FP exponent/significand significance (``fp_*``).
+* Figures 10/12 — which benchmarks are register-pressure bound (high ILP,
+  long-latency misses holding registers) versus bound elsewhere
+  (``ammp`` is memory-serialised and gains nothing from PRI).
+
+The knobs fall into four groups: instruction mix, value significance,
+dependence structure (ILP), and control/memory behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.workloads.value_models import WidthAnchors
+
+
+def int_anchors(f10: float, tail: float = 0.93) -> WidthAnchors:
+    """Build a width CDF from its value at 10 bits (the paper's headline
+    statistic: 23%-82% of integer operands fit in 10 bits).
+
+    The curve shape follows Figure 2: roughly linear growth up to the
+    10-bit anchor, then a long flat tail out to 64 bits.
+    """
+    tail = max(tail, f10 + 0.02)
+    f1 = 0.30 * f10
+    f4 = 0.58 * f10
+    f7 = 0.85 * f10
+    f16 = f10 + (tail - f10) * 0.35
+    f24 = f10 + (tail - f10) * 0.60
+    f32 = tail
+    f48 = tail + (1.0 - tail) * 0.60
+    return WidthAnchors((f1, f4, f7, f10, f16, f24, f32, f48, 1.0))
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Statistical model of one benchmark (see module docstring)."""
+
+    name: str
+    suite: str  # "int" or "fp"
+
+    # --- instruction mix (fractions of all micro-ops; remainder is INT_ALU)
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    branch_frac: float = 0.15
+    mul_frac: float = 0.01
+    div_frac: float = 0.001
+    fp_add_frac: float = 0.0
+    fp_mul_frac: float = 0.0
+    fp_div_frac: float = 0.0
+    #: Fraction of memory ops that move FP data (FP_LOAD/FP_STORE).
+    fp_mem_frac: float = 0.0
+
+    # --- value significance (Figure 2)
+    int_widths: WidthAnchors = field(default_factory=lambda: int_anchors(0.5))
+    fp_zero_frac: float = 0.50
+    fp_ones_frac: float = 0.02
+    fp_exp_narrow_frac: float = 0.77
+    fp_sig_narrow_frac: float = 0.54
+
+    # --- dependence structure (ILP)
+    #: Mean distance (in dynamic instructions) from a consumer to its
+    #: producer, for the "recent" fraction of sources; geometric.
+    dep_mean: float = 6.0
+    #: Probability a source is drawn from the recent-producer window (the
+    #: rest read long-lived registers, i.e. distant producers).
+    src_recent_frac: float = 0.75
+    #: Probability a source operand is the hard-wired zero register.
+    zero_reg_frac: float = 0.04
+    #: Fraction of loads whose address depends on the previous load's
+    #: result (pointer chasing; serialises mcf/ammp-like codes).
+    pointer_chase_frac: float = 0.0
+    #: Fraction of destinations drawn from a small hot pool (controls the
+    #: logical-register redefinition distance, hence base free latency).
+    dest_hot_frac: float = 0.6
+    dest_hot_regs: int = 8
+
+    # --- control flow
+    branch_sites: int = 256
+    #: Fraction of branch sites that are easy (strongly biased).
+    easy_site_frac: float = 0.78
+    easy_bias: float = 0.985
+    hard_bias: float = 0.70
+    #: Fraction of branch sites that are loops with a fixed trip count
+    #: (pattern T..TN — bimodal mispredicts the exit, gshare learns it).
+    loop_site_frac: float = 0.12
+    #: Fraction of branches that are calls (matched by returns).
+    call_frac: float = 0.04
+    #: Fraction of taken branches that are loop back-edges (backward).
+    backedge_frac: float = 0.6
+    #: Static code footprint in bytes (drives IL1 behaviour).
+    code_footprint: int = 12 * 1024
+
+    # --- memory locality (directly calibratable service fractions):
+    #: fraction of data accesses engineered to miss DL1 and hit L2;
+    l2_access_frac: float = 0.04
+    #: fraction of data accesses engineered to miss to main memory.
+    mem_access_frac: float = 0.003
+
+    # --- paper-reported numbers (for EXPERIMENTS.md comparison only)
+    paper_ipc_4w: float = 0.0
+    paper_ipc_8w: float = 0.0
+    notes: str = ""
+
+    @property
+    def dl1_hit_frac(self) -> float:
+        """Fraction of data accesses engineered to hit the DL1."""
+        return max(0.0, 1.0 - self.l2_access_frac - self.mem_access_frac)
+
+    @property
+    def alu_frac(self) -> float:
+        """INT_ALU fraction (whatever the explicit classes leave over)."""
+        used = (
+            self.load_frac
+            + self.store_frac
+            + self.branch_frac
+            + self.mul_frac
+            + self.div_frac
+            + self.fp_add_frac
+            + self.fp_mul_frac
+            + self.fp_div_frac
+        )
+        if used >= 1.0:
+            raise ValueError(f"{self.name}: instruction mix exceeds 1.0")
+        return 1.0 - used
+
+
+def _int_bench(name, f10, ipc4, ipc8, **kw) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name,
+        suite="int",
+        int_widths=int_anchors(f10),
+        paper_ipc_4w=ipc4,
+        paper_ipc_8w=ipc8,
+        **kw,
+    )
+
+
+def _fp_bench(name, ipc4, ipc8, **kw) -> BenchmarkProfile:
+    kw.setdefault("branch_frac", 0.06)
+    kw.setdefault("load_frac", 0.30)
+    kw.setdefault("store_frac", 0.10)
+    kw.setdefault("fp_add_frac", 0.20)
+    kw.setdefault("fp_mul_frac", 0.15)
+    kw.setdefault("fp_div_frac", 0.005)
+    kw.setdefault("fp_mem_frac", 0.85)
+    kw.setdefault("easy_site_frac", 0.93)
+    kw.setdefault("easy_bias", 0.995)
+    kw.setdefault("loop_site_frac", 0.05)
+    kw.setdefault("int_widths", int_anchors(0.6))
+    return BenchmarkProfile(
+        name=name,
+        suite="fp",
+        paper_ipc_4w=ipc4,
+        paper_ipc_8w=ipc8,
+        **kw,
+    )
+
+
+#: SPEC2000 integer benchmarks (Table 2, left).  Width-CDF anchors span
+#: the paper's reported 23%-82% range at 10 bits.
+SPEC_INT: Tuple[BenchmarkProfile, ...] = (
+    _int_bench(
+        "bzip2", 0.72, 1.62, 1.67,
+        load_frac=0.26, store_frac=0.09, branch_frac=0.13,
+        dep_mean=7.0, easy_site_frac=0.74,
+        l2_access_frac=0.035, mem_access_frac=0.003,
+        notes="byte-granular compression; very narrow values",
+    ),
+    _int_bench(
+        "crafty", 0.25, 1.35, 1.40,
+        load_frac=0.28, store_frac=0.08, branch_frac=0.12,
+        dep_mean=9.0, easy_site_frac=0.78,
+        l2_access_frac=0.025, mem_access_frac=0.001,
+        code_footprint=20 * 1024,
+        notes="64-bit bitboards; widest operands of SPECint (Fig 2 worst case)",
+    ),
+    _int_bench(
+        "eon", 0.55, 1.81, 2.11,
+        load_frac=0.28, store_frac=0.14, branch_frac=0.10,
+        fp_add_frac=0.04, fp_mul_frac=0.04, fp_mem_frac=0.15,
+        dep_mean=13.0, easy_site_frac=0.90,
+        l2_access_frac=0.01, mem_access_frac=0.0005,
+        code_footprint=16 * 1024, notes="C++ ray tracer; high ILP, predictable",
+    ),
+    _int_bench(
+        "gap", 0.50, 1.55, 1.59,
+        load_frac=0.27, store_frac=0.11, branch_frac=0.13,
+        dep_mean=7.5, easy_site_frac=0.84,
+        l2_access_frac=0.05, mem_access_frac=0.002,
+        notes="group theory interpreter",
+    ),
+    _int_bench(
+        "gcc", 0.60, 1.16, 1.23,
+        load_frac=0.27, store_frac=0.12, branch_frac=0.17,
+        dep_mean=5.5, easy_site_frac=0.74,
+        l2_access_frac=0.05, mem_access_frac=0.004,
+        code_footprint=32 * 1024, notes="large code footprint; branchy",
+    ),
+    _int_bench(
+        "gzip", 0.80, 1.51, 1.54,
+        load_frac=0.24, store_frac=0.09, branch_frac=0.14,
+        dep_mean=6.5, easy_site_frac=0.78,
+        l2_access_frac=0.04, mem_access_frac=0.003,
+        notes="narrowest operands of SPECint (Fig 2 best case)",
+    ),
+    _int_bench(
+        "mcf", 0.55, 0.36, 0.37,
+        load_frac=0.32, store_frac=0.09, branch_frac=0.16,
+        dep_mean=4.5, pointer_chase_frac=0.35,
+        easy_site_frac=0.70, l2_access_frac=0.12, mem_access_frac=0.12,
+        notes="pointer-chasing over a huge graph; memory bound",
+    ),
+    _int_bench(
+        "parser", 0.60, 0.98, 1.00,
+        load_frac=0.27, store_frac=0.10, branch_frac=0.17,
+        dep_mean=4.5, pointer_chase_frac=0.12,
+        easy_site_frac=0.70, l2_access_frac=0.06, mem_access_frac=0.01,
+        notes="linked-list heavy; branchy",
+    ),
+    _int_bench(
+        "perlbmk", 0.55, 1.15, 1.21,
+        load_frac=0.28, store_frac=0.13, branch_frac=0.16,
+        dep_mean=5.5, easy_site_frac=0.76,
+        l2_access_frac=0.04, mem_access_frac=0.004,
+        code_footprint=24 * 1024, call_frac=0.08, notes="interpreter dispatch",
+    ),
+    _int_bench(
+        "twolf", 0.50, 1.17, 1.22,
+        load_frac=0.27, store_frac=0.08, branch_frac=0.14,
+        dep_mean=5.5, easy_site_frac=0.74,
+        l2_access_frac=0.075, mem_access_frac=0.005,
+        notes="place-and-route; moderate everything",
+    ),
+    _int_bench(
+        "vortex", 0.60, 1.40, 1.52,
+        load_frac=0.29, store_frac=0.15, branch_frac=0.14,
+        dep_mean=7.0, easy_site_frac=0.87,
+        l2_access_frac=0.04, mem_access_frac=0.003,
+        code_footprint=24 * 1024, call_frac=0.07,
+        notes="OO database; store heavy, predictable branches",
+    ),
+    _int_bench(
+        "vpr", 0.50, 1.36, 1.42,
+        load_frac=0.28, store_frac=0.09, branch_frac=0.13,
+        dep_mean=6.5, easy_site_frac=0.80,
+        l2_access_frac=0.07, mem_access_frac=0.003,
+        notes="reduced input: small working set",
+    ),
+    _int_bench(
+        "vpr_ref", 0.50, 0.63, 0.64,
+        load_frac=0.30, store_frac=0.09, branch_frac=0.13,
+        dep_mean=4.5, easy_site_frac=0.74,
+        l2_access_frac=0.10, mem_access_frac=0.035,
+        notes="reference input: working set blows DL1/L2 (paper keeps both)",
+    ),
+)
+
+#: SPEC2000 floating-point benchmarks (Table 2, right).
+SPEC_FP: Tuple[BenchmarkProfile, ...] = (
+    _fp_bench(
+        "ammp", 0.06, 0.06,
+        load_frac=0.58, store_frac=0.05, branch_frac=0.04,
+        pointer_chase_frac=1.0, dep_mean=1.2,
+        src_recent_frac=0.995, zero_reg_frac=0.0,
+        fp_add_frac=0.04, fp_mul_frac=0.02, fp_mem_frac=0.25,
+        l2_access_frac=0.08, mem_access_frac=0.65, fp_zero_frac=0.45,
+        notes="serialised pointer-chasing misses; no scheme helps (Fig 12)",
+    ),
+    _fp_bench(
+        "applu", 2.05, 2.20,
+        dep_mean=18.0, l2_access_frac=0.04, mem_access_frac=0.003,
+        fp_zero_frac=0.40, notes="dense PDE solver; streaming, high ILP",
+    ),
+    _fp_bench(
+        "apsi", 1.37, 1.50,
+        dep_mean=9.0, l2_access_frac=0.05, mem_access_frac=0.006,
+        fp_zero_frac=0.50, notes="meteorology kernel mix",
+    ),
+    _fp_bench(
+        "art", 0.37, 0.38,
+        load_frac=0.36, dep_mean=5.0,
+        l2_access_frac=0.18, mem_access_frac=0.09,
+        fp_zero_frac=0.60, notes="neural net scans exceeding L2; memory bound",
+    ),
+    _fp_bench(
+        "equake", 2.28, 2.38,
+        dep_mean=18.0, l2_access_frac=0.025, mem_access_frac=0.002,
+        fp_zero_frac=0.48, notes="sparse solver with good locality in reduced run",
+    ),
+    _fp_bench(
+        "facerec", 1.35, 1.41,
+        dep_mean=10.0, l2_access_frac=0.06, mem_access_frac=0.008,
+        fp_zero_frac=0.52, notes="image correlation",
+    ),
+    _fp_bench(
+        "fma3d", 1.91, 1.94,
+        dep_mean=11.0, l2_access_frac=0.04, mem_access_frac=0.003,
+        fp_zero_frac=0.50, code_footprint=16 * 1024,
+        notes="crash simulation; big code",
+    ),
+    _fp_bench(
+        "galgel", 0.65, 0.66,
+        dep_mean=5.0, l2_access_frac=0.12, mem_access_frac=0.03,
+        fp_zero_frac=0.55, notes="fluid dynamics with cache-hostile strides",
+    ),
+    _fp_bench(
+        "lucas", 2.29, 2.43,
+        dep_mean=20.0, l2_access_frac=0.04, mem_access_frac=0.002,
+        fp_zero_frac=0.35, branch_frac=0.03,
+        notes="FFT primality; nearly branch-free streaming",
+    ),
+    _fp_bench(
+        "mesa", 1.97, 2.08,
+        dep_mean=10.0, l2_access_frac=0.02, mem_access_frac=0.001,
+        fp_zero_frac=0.55, branch_frac=0.10, fp_mem_frac=0.6,
+        notes="software rasteriser; integer/FP mix",
+    ),
+    _fp_bench(
+        "mgrid", 1.54, 1.59,
+        dep_mean=11.0, l2_access_frac=0.07, mem_access_frac=0.008,
+        fp_zero_frac=0.45, branch_frac=0.02, notes="multigrid stencil sweeps",
+    ),
+    _fp_bench(
+        "sixtrack", 1.38, 1.44,
+        dep_mean=8.0, l2_access_frac=0.055, mem_access_frac=0.004,
+        fp_zero_frac=0.50, notes="particle tracking",
+    ),
+    _fp_bench(
+        "swim", 1.86, 1.99,
+        dep_mean=16.0, l2_access_frac=0.06, mem_access_frac=0.004,
+        fp_zero_frac=0.42, branch_frac=0.02, notes="shallow-water stencils",
+    ),
+    _fp_bench(
+        "wupwise", 1.83, 1.86,
+        dep_mean=11.0, l2_access_frac=0.04, mem_access_frac=0.003,
+        fp_zero_frac=0.48, notes="lattice QCD; matrix kernels",
+    ),
+)
+
+ALL_BENCHMARKS: Tuple[BenchmarkProfile, ...] = SPEC_INT + SPEC_FP
+
+_BY_NAME: Dict[str, BenchmarkProfile] = {p.name: p for p in ALL_BENCHMARKS}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name (raises KeyError if unknown)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

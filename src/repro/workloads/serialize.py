@@ -1,0 +1,112 @@
+"""Trace serialization.
+
+Traces are deterministic in (profile, seed), so regeneration is the
+normal path — but pinning a workload to a file is useful for sharing
+exact inputs across machines or Python versions.  The format is a
+compact line-oriented text file: a header with the trace metadata and
+initial register state, then one line per micro-op.
+
+    trace-v1 <name> <seed> <n_warmup> <n_ops>
+    I <32 hex words>            # initial INT registers
+    F <32 hex words>            # initial FP registers
+    <op line> ...               # warmup ops, then timed ops
+
+Op line fields (space-separated)::
+
+    <opclass> <pc> <dest_class|-> <dest|-> <result> <mem|-> <T|N> <target>
+        <ind:0|1> [<src_class>:<idx>:<value> ...]
+"""
+
+from __future__ import annotations
+
+from typing import IO, List
+
+from repro.isa.instruction import MicroOp, SourceOperand
+from repro.isa.opcodes import OpClass, RegClass
+from repro.workloads.trace import Trace
+
+_MAGIC = "trace-v1"
+
+
+def _dump_op(op: MicroOp, out: IO[str]) -> None:
+    fields = [
+        op.op.name,
+        f"{op.pc:x}",
+        "-" if op.dest is None else str(int(op.dest_class)),
+        "-" if op.dest is None else str(op.dest),
+        f"{op.result:x}",
+        "-" if op.mem_addr is None else f"{op.mem_addr:x}",
+        "T" if op.taken else "N",
+        f"{op.target:x}",
+        "1" if op.is_indirect else "0",
+    ]
+    for src in op.sources:
+        fields.append(f"{int(src.reg_class)}:{src.index}:{src.expected_value:x}")
+    out.write(" ".join(fields) + "\n")
+
+
+def _parse_op(line: str, seq: int) -> MicroOp:
+    fields = line.split()
+    op_class = OpClass[fields[0]]
+    dest = None if fields[3] == "-" else int(fields[3])
+    dest_class = RegClass.INT if fields[2] == "-" else RegClass(int(fields[2]))
+    sources = tuple(
+        SourceOperand(RegClass(int(c)), int(i), int(v, 16))
+        for c, i, v in (part.split(":") for part in fields[9:])
+    )
+    op = MicroOp(
+        seq,
+        int(fields[1], 16),
+        op_class,
+        sources=sources,
+        dest_class=dest_class,
+        dest=dest,
+        result=int(fields[4], 16),
+        mem_addr=None if fields[5] == "-" else int(fields[5], 16),
+        taken=fields[6] == "T",
+        target=int(fields[7], 16),
+        is_indirect=fields[8] == "1",
+    )
+    op.validate()
+    return op
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace (including its warmup prefix) to ``path``."""
+    with open(path, "w") as out:
+        out.write(
+            f"{_MAGIC} {trace.name} {trace.seed} "
+            f"{len(trace.warmup_ops)} {len(trace)}\n"
+        )
+        out.write("I " + " ".join(f"{v:x}" for v in trace.initial_int) + "\n")
+        out.write("F " + " ".join(f"{v:x}" for v in trace.initial_fp) + "\n")
+        for op in trace.warmup_ops:
+            _dump_op(op, out)
+        for op in trace.ops:
+            _dump_op(op, out)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path) as handle:
+        header = handle.readline().split()
+        if not header or header[0] != _MAGIC:
+            raise ValueError(f"{path}: not a {_MAGIC} file")
+        name, seed = header[1], int(header[2])
+        n_warmup, n_ops = int(header[3]), int(header[4])
+        int_line = handle.readline().split()
+        fp_line = handle.readline().split()
+        if int_line[0] != "I" or fp_line[0] != "F":
+            raise ValueError(f"{path}: corrupt register-state header")
+        initial_int = [int(v, 16) for v in int_line[1:]]
+        initial_fp = [int(v, 16) for v in fp_line[1:]]
+        warmup: List[MicroOp] = [
+            _parse_op(handle.readline(), seq) for seq in range(n_warmup)
+        ]
+        ops: List[MicroOp] = [
+            _parse_op(handle.readline(), seq) for seq in range(n_ops)
+        ]
+    return Trace(
+        name, ops, seed=seed,
+        initial_int=initial_int, initial_fp=initial_fp, warmup_ops=warmup,
+    )

@@ -1,0 +1,96 @@
+"""Trace container and summary statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import OpClass
+
+
+@dataclass
+class TraceStats:
+    """Static summary of a trace (mix and control-flow facts)."""
+
+    length: int
+    mix: Counter
+    branches: int
+    taken_branches: int
+    loads: int
+    stores: int
+    reg_writers: int
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken_branches / self.branches if self.branches else 0.0
+
+
+class Trace:
+    """An ordered sequence of :class:`MicroOp` with consistent dataflow.
+
+    Traces are immutable once built.  ``name`` and ``seed`` identify the
+    generating profile for reporting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ops: Sequence[MicroOp],
+        seed: int = 0,
+        initial_int: Sequence[int] = None,
+        initial_fp: Sequence[int] = None,
+        warmup_ops: Sequence[MicroOp] = (),
+    ) -> None:
+        self.name = name
+        self.seed = seed
+        self._ops: List[MicroOp] = list(ops)
+        #: Architectural register contents before the first op; the
+        #: machine seeds its committed physical registers from these.
+        self.initial_int: List[int] = list(initial_int) if initial_int else [0] * 32
+        self.initial_fp: List[int] = list(initial_fp) if initial_fp else [0] * 32
+        #: Untimed prefix used to warm predictors and caches — the stand-in
+        #: for the paper's 400M-instruction fast-forward.
+        self.warmup_ops: List[MicroOp] = list(warmup_ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self._ops)
+
+    def __getitem__(self, index: int) -> MicroOp:
+        return self._ops[index]
+
+    @property
+    def ops(self) -> Sequence[MicroOp]:
+        return self._ops
+
+    def stats(self) -> TraceStats:
+        """Compute mix/control statistics over the whole trace."""
+        mix = Counter()
+        branches = taken = loads = stores = writers = 0
+        for op in self._ops:
+            mix[op.op] += 1
+            if op.is_branch:
+                branches += 1
+                taken += op.taken
+            if op.is_load:
+                loads += 1
+            if op.is_store:
+                stores += 1
+            if op.dest is not None:
+                writers += 1
+        return TraceStats(
+            length=len(self._ops),
+            mix=mix,
+            branches=branches,
+            taken_branches=taken,
+            loads=loads,
+            stores=stores,
+            reg_writers=writers,
+        )
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self._ops)} ops, seed={self.seed})"

@@ -1,0 +1,30 @@
+"""Lifetime breakdown extraction tests."""
+
+import pytest
+
+from repro.analysis.lifetime import LifetimeBreakdown, breakdown_from_stats
+from repro.core.stats import SimStats
+
+
+def test_breakdown_math():
+    b = LifetimeBreakdown("x", 2.0, 3.0, 5.0)
+    assert b.total == 10.0
+    assert "x" in str(b) and "10.0" in str(b)
+
+
+def test_from_stats():
+    stats = SimStats()
+    stats.lifetimes["int"].record(alloc=0, write=4, last_read=10, release=30)
+    b = breakdown_from_stats(stats, "bench")
+    assert b.alloc_to_write == 4
+    assert b.write_to_last_read == 6
+    assert b.last_read_to_release == 20
+    assert b.total == 30
+
+
+def test_reg_class_selectable():
+    stats = SimStats()
+    stats.lifetimes["fp"].record(alloc=0, write=1, last_read=2, release=3)
+    b = breakdown_from_stats(stats, "bench", reg_class="fp")
+    assert b.total == 3
+    assert breakdown_from_stats(stats, "bench", reg_class="int").total == 0

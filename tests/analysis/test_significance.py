@@ -1,0 +1,93 @@
+"""Operand significance analysis tests (Figure 2 machinery)."""
+
+import pytest
+
+from repro.analysis.significance import (
+    fp_exponent_cdf,
+    fp_significand_cdf,
+    int_width_cdf,
+    summarize_trace,
+)
+from repro.isa.values import MAX_UINT64, pack_fp
+from repro.workloads import TraceBuilder, generate_trace
+
+
+def _trace_with_values(values):
+    b = TraceBuilder()
+    for v in values:
+        b.alu(dest=1, value=v)
+    return b.build()
+
+
+class TestIntCdf:
+    def test_known_distribution(self):
+        # 2 one-bit values (0, -1), 1 two-bit (1), 1 eight-bit (100).
+        cdf = int_width_cdf(_trace_with_values([0, -1, 1, 100]))
+        assert cdf[0] == 0.0
+        assert cdf[1] == pytest.approx(0.5)
+        assert cdf[2] == pytest.approx(0.75)
+        assert cdf[7] == pytest.approx(0.75)
+        assert cdf[8] == 1.0
+        assert cdf[64] == 1.0
+
+    def test_counts_sources_too(self):
+        b = TraceBuilder()
+        b.alu(dest=1, value=0)          # 1-bit result
+        b.alu(dest=2, value=200, srcs=[1])  # reads the 1-bit value
+        cdf = int_width_cdf(b.build())
+        # Operands: result 0 (1b), source 0 (1b), result 200 (9b).
+        assert cdf[1] == pytest.approx(2 / 3)
+
+    def test_monotone(self, gzip_trace):
+        cdf = int_width_cdf(gzip_trace)
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        assert cdf[64] == pytest.approx(1.0)
+
+
+class TestFpCdfs:
+    def test_zero_pattern_counts_as_zero_bits(self):
+        b = TraceBuilder()
+        b.fp(dest=1, value=0)
+        b.fp(dest=2, value=MAX_UINT64)
+        b.fp(dest=3, value=pack_fp(1.5))
+        exp = fp_exponent_cdf(b.build())
+        sig = fp_significand_cdf(b.build())
+        assert exp[0] == pytest.approx(2 / 3)
+        assert sig[0] == pytest.approx(2 / 3)
+        assert sig[1] == pytest.approx(1.0)  # 1.5 has 1 significand bit
+
+    def test_fp_benchmark_profile_shows_up(self, swim_trace):
+        exp = fp_exponent_cdf(swim_trace)
+        assert 0.2 < exp[0] < 1.0
+
+
+class TestSummary:
+    def test_matches_profile_targets(self):
+        from repro.workloads import get_profile
+
+        trace = generate_trace("gzip", 8000, seed=2, warmup=0)
+        summary = summarize_trace(trace)
+        target = get_profile("gzip").int_widths.fraction_at_most(10)
+        assert summary.int_at_10_bits == pytest.approx(target, abs=0.05)
+        assert summary.int_at_7_bits < summary.int_at_10_bits
+
+    def test_fp_fields_populated_for_fp_bench(self, swim_trace):
+        summary = summarize_trace(swim_trace)
+        assert summary.fp_exp_zero_bits > 0
+        assert summary.fp_sig_zero_bits > 0
+
+    def test_str_is_readable(self, gzip_trace):
+        assert "gzip" in str(summarize_trace(gzip_trace))
+
+    def test_paper_range_across_suite(self):
+        """Figure 2 headline: roughly half of integer operands fit in 10
+        bits, spanning about 23%-82% across SPECint."""
+        from repro.workloads import SPEC_INT
+
+        fractions = []
+        for profile in SPEC_INT:
+            trace = generate_trace(profile.name, 2500, seed=3, warmup=0)
+            fractions.append(summarize_trace(trace).int_at_10_bits)
+        assert 0.15 <= min(fractions) <= 0.35
+        assert 0.70 <= max(fractions) <= 0.90
+        assert 0.4 <= sum(fractions) / len(fractions) <= 0.65

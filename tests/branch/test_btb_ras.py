@@ -1,0 +1,74 @@
+"""BTB and RAS behaviour."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(0x400000) is None
+        btb.install(0x400000, 0x400800)
+        assert btb.lookup(0x400000) == 0x400800
+
+    def test_update_changes_target(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.install(0x400000, 0x400800)
+        btb.install(0x400000, 0x400900)
+        assert btb.lookup(0x400000) == 0x400900
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(16, 2)  # 8 sets, 2-way
+        sets = 8
+        stride = sets * 4  # same set index
+        pcs = [0x400000 + i * stride for i in range(3)]
+        btb.install(pcs[0], 1)
+        btb.install(pcs[1], 2)
+        btb.lookup(pcs[0])  # touch pcs[0]: pcs[1] becomes LRU
+        btb.install(pcs[2], 3)  # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+        assert btb.lookup(pcs[2]) == 3
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, 4)
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # entry 1 was lost to overflow
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        snap = ras.snapshot()
+        ras.push(2)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert len(ras) == 1
+        assert ras.pop() == 1
+
+    def test_snapshot_is_isolated(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        snap = ras.snapshot()
+        snap.append(99)
+        assert len(ras) == 1

@@ -1,0 +1,71 @@
+"""Saturating counter semantics, including the flat-table equivalence."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch.counters import CounterTable, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_initial_state_is_weakly_not_taken(self):
+        c = SaturatingCounter(bits=2)
+        assert c.value == 1
+        assert not c.taken
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(bits=2)
+        for _ in range(10):
+            c.update(True)
+        assert c.value == 3
+        assert c.taken
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(bits=2)
+        for _ in range(10):
+            c.update(False)
+        assert c.value == 0
+        assert not c.taken
+
+    def test_hysteresis(self):
+        c = SaturatingCounter(bits=2, initial=3)
+        c.update(False)
+        assert c.taken  # one wrong outcome does not flip a strong state
+        c.update(False)
+        assert not c.taken
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=9)
+
+
+class TestCounterTable:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CounterTable(num_entries=100)
+
+    def test_indexing_wraps(self):
+        t = CounterTable(16)
+        assert t.index(16) == 0
+        assert t.index(17) == 1
+
+    @given(st.lists(st.booleans(), max_size=60), st.integers(0, 1 << 20))
+    def test_matches_reference_counter(self, outcomes, key):
+        """The flat int table behaves exactly like SaturatingCounter."""
+        table = CounterTable(64, bits=2)
+        ref = SaturatingCounter(bits=2)
+        for taken in outcomes:
+            assert table.predict(key) == ref.taken
+            table.update(key, taken)
+            ref.update(taken)
+        assert table.predict(key) == ref.taken
+
+    def test_entries_independent(self):
+        t = CounterTable(8)
+        for _ in range(4):
+            t.update(0, True)
+            t.update(1, False)
+        assert t.predict(0)
+        assert not t.predict(1)

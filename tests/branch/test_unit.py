@@ -1,0 +1,76 @@
+"""BranchUnit facade tests, using hand-built branch micro-ops."""
+
+from repro.branch.unit import BranchUnit
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import OpClass
+
+
+def _branch(pc, taken, target, seq=0):
+    return MicroOp(seq, pc, OpClass.BRANCH, taken=taken, target=target)
+
+
+def _call(pc, target, seq=0):
+    return MicroOp(seq, pc, OpClass.CALL, taken=True, target=target)
+
+
+def _ret(pc, target, seq=0):
+    return MicroOp(seq, pc, OpClass.RETURN, taken=True, target=target,
+                   is_indirect=True)
+
+
+def test_first_taken_branch_mispredicts_on_cold_btb():
+    unit = BranchUnit()
+    op = _branch(0x400000, True, 0x400800)
+    pred = unit.predict(op)
+    assert pred.mispredicted  # direction may be right; target is unknown
+    unit.resolve(op, pred)
+    # Re-training: same branch should now predict fully.
+    for _ in range(4):
+        pred = unit.predict(op)
+        unit.resolve(op, pred)
+    assert not unit.predict(op).mispredicted
+
+
+def test_returns_predicted_by_ras():
+    unit = BranchUnit()
+    call = _call(0x400000, 0x400800)
+    ret = _ret(0x400900, 0x400004)
+    # Train the call target once.
+    p = unit.predict(call)
+    unit.resolve(call, p)
+    p = unit.predict(ret)
+    unit.resolve(ret, p)
+    # Second round: call hits BTB, return pops the matching RAS entry.
+    p = unit.predict(call)
+    assert not p.mispredicted
+    p = unit.predict(ret)
+    assert not p.mispredicted
+    assert p.pred_target == 0x400004
+
+
+def test_ras_underflow_mispredicts_return():
+    unit = BranchUnit()
+    ret = _ret(0x400900, 0x400004)
+    pred = unit.predict(ret)
+    assert pred.mispredicted
+
+
+def test_accuracy_counters():
+    unit = BranchUnit()
+    op = _branch(0x400000, True, 0x400800)
+    for _ in range(10):
+        pred = unit.predict(op)
+        unit.resolve(op, pred)
+    assert unit.predictions == 10
+    assert 0.0 <= unit.mispredict_rate < 0.5
+
+
+def test_history_advances_only_on_conditional_branches():
+    unit = BranchUnit()
+    before = unit.history
+    call = _call(0x400000, 0x400800)
+    unit.predict(call)
+    assert unit.history == before
+    br = _branch(0x400100, True, 0x400200)
+    unit.predict(br)
+    assert unit.history == ((before << 1) | 1) & ((1 << unit.config.history_bits) - 1)

@@ -1,0 +1,108 @@
+"""Early-release (prior work [27]) behaviour, and its integration with
+PRI (paper Section 3.5)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.machine import Machine, simulate
+from repro.workloads import TraceBuilder
+
+_WIDE = 0x5555_5555_5
+
+
+def _er_trace(n_churn=50):
+    b = TraceBuilder()
+    b.alu(dest=1, value=_WIDE)           # producer
+    b.alu(dest=4, value=_WIDE + 1, srcs=[1])  # the only read
+    b.alu(dest=1, value=_WIDE + 2)       # redefiner: unmaps the old reg
+    for i in range(n_churn):
+        b.alu(dest=5 + (i % 3), value=0x7000_0000 + i)
+    return b.build("er")
+
+
+class TestEarlyRelease:
+    def test_frees_before_redefiner_commits(self, cfg4):
+        stats = simulate(cfg4.with_early_release(), _er_trace())
+        assert stats.er_early_frees >= 1
+
+    def test_base_machine_never_frees_early(self, cfg4):
+        stats = simulate(cfg4, _er_trace())
+        assert stats.er_early_frees == 0
+        assert stats.pri_early_frees == 0
+
+    def test_helps_under_register_pressure(self, cfg4):
+        trace = _er_trace(n_churn=150)
+        tight = dataclasses.replace(cfg4, int_phys_regs=38)
+        base = simulate(tight, trace)
+        er = simulate(tight.with_early_release(), trace)
+        assert er.cycles <= base.cycles
+
+    def test_er_applies_to_wide_values_pri_does_not(self, cfg4):
+        """ER's advantage over PRI: it frees registers regardless of
+        value width.  A wide-value-only workload gets ER frees but no
+        PRI inlines."""
+        trace = _er_trace()
+        er = simulate(cfg4.with_early_release(), trace)
+        pri = simulate(cfg4.with_pri(), trace)
+        assert er.er_early_frees >= 1
+        assert pri.inlined == 0
+
+
+class TestErWithBranches:
+    def test_commit_scoped_checkpoint_pins(self, cfg4):
+        """A branch between producer and redefiner holds a commit-scoped
+        reference: the register cannot free while the branch could still
+        be squashed, and the run stays consistent."""
+        b = TraceBuilder()
+        b.alu(dest=1, value=_WIDE)
+        b.branch(taken=False, cond=1)
+        b.alu(dest=4, value=_WIDE + 1, srcs=[1])
+        b.alu(dest=1, value=_WIDE + 2)
+        for i in range(40):
+            b.alu(dest=5 + (i % 3), value=0x7000_0000 + i)
+        stats = simulate(cfg4.with_early_release(), b.build())
+        assert stats.committed == 44
+        assert stats.er_early_frees >= 1
+
+    def test_recovery_with_er(self, cfg4):
+        b = TraceBuilder()
+        b.alu(dest=1, value=_WIDE)
+        b.branch(taken=True, cond=1, target=0x400800)  # cold: mispredicts
+        b.alu(dest=4, value=_WIDE + 1, srcs=[1])
+        b.alu(dest=1, value=_WIDE + 2)
+        for i in range(40):
+            b.alu(dest=5 + (i % 3), value=0x7000_0000 + i)
+        stats = simulate(cfg4.with_early_release(), b.build())
+        assert stats.committed == 44
+        assert stats.mispredicts >= 1
+
+
+class TestPriPlusEr:
+    def test_combination_runs_clean_on_real_workload(self, cfg4_real, gzip_trace):
+        """Regression for the PRI+ER integration hazard: ER freeing a
+        register between writeback and the PRI retire check would let a
+        stale late map update clobber a new same-logical-register
+        mapping.  The retire_pending pin prevents it."""
+        cfg = cfg4_real.with_pri().with_early_release()
+        m = Machine(cfg)
+        stats = m.run(gzip_trace)
+        assert stats.committed == len(gzip_trace)
+        m.assert_invariants()
+        for rc in m.refcounts.values():
+            rc.assert_clean()
+
+    def test_both_mechanisms_fire(self, cfg4_real, gzip_trace):
+        stats = simulate(cfg4_real.with_pri().with_early_release(), gzip_trace)
+        assert stats.inlined > 0
+        assert stats.er_early_frees > 0
+        assert stats.pri_early_frees > 0
+
+    def test_combination_at_least_as_good_as_each(self, cfg4_real, gzip_trace):
+        base = simulate(cfg4_real, gzip_trace)
+        er = simulate(cfg4_real.with_early_release(), gzip_trace)
+        pri = simulate(cfg4_real.with_pri(), gzip_trace)
+        both = simulate(cfg4_real.with_pri().with_early_release(), gzip_trace)
+        assert both.ipc >= er.ipc * 0.99
+        assert both.ipc >= pri.ipc * 0.99
+        assert both.ipc >= base.ipc

@@ -1,0 +1,73 @@
+"""Load/store queue tests."""
+
+import pytest
+
+from repro.core.inflight import InFlight
+from repro.core.lsq import LoadStoreQueue
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import OpClass
+
+
+def _store(seq, addr):
+    return InFlight(MicroOp(seq, 0, OpClass.STORE, mem_addr=addr), seq, seq, 0)
+
+
+def _load(seq, addr):
+    return InFlight(MicroOp(seq, 0, OpClass.LOAD, dest=1, mem_addr=addr),
+                    seq, seq, 0)
+
+
+class TestOccupancy:
+    def test_insert_remove(self):
+        q = LoadStoreQueue(2)
+        s = _store(1, 0x100)
+        q.insert(s)
+        assert q.occupancy == 1
+        q.remove(s)
+        assert q.occupancy == 0
+
+    def test_capacity(self):
+        q = LoadStoreQueue(1)
+        q.insert(_store(1, 0x100))
+        assert not q.has_space
+        with pytest.raises(RuntimeError):
+            q.insert(_store(2, 0x200))
+
+    def test_underflow_detected(self):
+        q = LoadStoreQueue(2)
+        s = _store(1, 0x100)
+        q.insert(s)
+        q.remove(s)
+        with pytest.raises(RuntimeError):
+            q.remove(s)
+
+
+class TestForwarding:
+    def test_older_store_forwards(self):
+        q = LoadStoreQueue(4)
+        q.insert(_store(1, 0x100))
+        assert q.forwarding_store(_load(2, 0x100))
+
+    def test_younger_store_does_not_forward(self):
+        q = LoadStoreQueue(4)
+        q.insert(_store(5, 0x100))
+        assert not q.forwarding_store(_load(2, 0x100))
+
+    def test_different_address_does_not_forward(self):
+        q = LoadStoreQueue(4)
+        q.insert(_store(1, 0x100))
+        assert not q.forwarding_store(_load(2, 0x108))
+
+    def test_squashed_store_does_not_forward(self):
+        q = LoadStoreQueue(4)
+        s = _store(1, 0x100)
+        q.insert(s)
+        s.squashed = True
+        assert not q.forwarding_store(_load(2, 0x100))
+
+    def test_removed_store_does_not_forward(self):
+        q = LoadStoreQueue(4)
+        s = _store(1, 0x100)
+        q.insert(s)
+        q.remove(s)
+        assert not q.forwarding_store(_load(2, 0x100))

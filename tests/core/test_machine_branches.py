@@ -1,0 +1,110 @@
+"""Branch handling through the pipeline: prediction, misprediction
+penalty, recovery correctness, checkpoint pressure."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.machine import Machine, simulate
+from repro.workloads import TraceBuilder
+
+
+def _with_branch(taken, n_after=40):
+    b = TraceBuilder()
+    b.alu(dest=1, value=3)
+    b.branch(taken=taken, cond=1, target=0x400800)
+    for i in range(n_after):
+        b.alu(dest=2 + (i % 6), value=i, srcs=[1])
+    return b.build()
+
+
+class TestPrediction:
+    def test_not_taken_branch_costs_nothing(self, cfg4):
+        """Cold 2-bit counters predict weakly-not-taken, so an untaken
+        branch is correct from the start."""
+        stats = simulate(cfg4, _with_branch(taken=False))
+        assert stats.mispredicts == 0
+
+    def test_cold_taken_branch_mispredicts(self, cfg4):
+        stats = simulate(cfg4, _with_branch(taken=True))
+        assert stats.mispredicts == 1
+
+    def test_branches_counted_at_commit(self, cfg4):
+        stats = simulate(cfg4, _with_branch(taken=False))
+        assert stats.branches == 1
+
+
+class TestMispredictPenalty:
+    def test_at_least_11_cycles(self, cfg4):
+        taken = simulate(cfg4, _with_branch(taken=True))
+        untaken = simulate(cfg4, _with_branch(taken=False))
+        assert taken.cycles >= untaken.cycles + 11
+
+    def test_squashes_wrong_path_standins(self, cfg4):
+        stats = simulate(cfg4, _with_branch(taken=True))
+        assert stats.squashed > 0
+
+    def test_everything_still_commits(self, cfg4):
+        stats = simulate(cfg4, _with_branch(taken=True, n_after=60))
+        assert stats.committed == 62
+
+
+class TestRecoveryCorrectness:
+    def test_values_across_recovery(self, cfg4):
+        """Producers before the branch, consumers after: recovery must
+        restore the map so refetched consumers read the right values.
+        (The machine raises SimulationError otherwise.)"""
+        b = TraceBuilder()
+        for i in range(6):
+            b.alu(dest=1 + i, value=100 + i)
+        b.branch(taken=True, cond=1, target=0x400900)
+        for i in range(30):
+            b.alu(dest=8 + (i % 4), value=i, srcs=[1 + (i % 6)])
+        stats = simulate(cfg4, b.build())
+        assert stats.committed == 37
+
+    def test_nested_mispredictions(self, cfg4):
+        b = TraceBuilder()
+        b.alu(dest=1, value=1)
+        for round_ in range(6):
+            b.branch(taken=True, cond=1, target=0x400800 + round_ * 0x40)
+            for i in range(5):
+                b.alu(dest=2 + i % 4, value=round_ * 10 + i, srcs=[1])
+        stats = simulate(cfg4, b.build())
+        assert stats.committed == len(b.ops)
+        assert stats.mispredicts >= 2
+
+    def test_producer_in_flight_across_recovery(self, cfg4):
+        """A slow producer older than the branch is still executing when
+        the branch recovers; refetched consumers must wait for it."""
+        b = TraceBuilder()
+        b.alu(dest=1, value=0x4000_0000)
+        b.load(dest=2, addr=0x4000_0000, value=44, base=1)  # slow miss
+        b.branch(taken=True, cond=1, target=0x400A00)
+        for i in range(10):
+            b.alu(dest=3 + (i % 3), value=50 + i, srcs=[2])
+        stats = simulate(cfg4, b.build())
+        assert stats.committed == 13
+
+
+class TestCheckpointPressure:
+    def test_few_checkpoints_still_correct(self, cfg4):
+        cfg = dataclasses.replace(cfg4, max_checkpoints=2)
+        b = TraceBuilder()
+        b.alu(dest=1, value=1)
+        for i in range(40):
+            b.branch(taken=False, cond=1)
+            b.alu(dest=2, value=i, srcs=[1])
+        stats = simulate(cfg, b.build())
+        assert stats.committed == len(b.ops)
+        assert stats.rename_stall_other > 0
+
+    def test_checkpoints_released_at_resolve(self, cfg4):
+        m = Machine(cfg4)
+        b = TraceBuilder()
+        b.alu(dest=1, value=1)
+        for i in range(30):
+            b.branch(taken=False, cond=1)
+            b.alu(dest=2, value=i, srcs=[1])
+        m.run(b.build())
+        assert len(m.ckpts) == 0

@@ -1,0 +1,83 @@
+"""Cross-scheme integration tests on realistic generated workloads.
+
+These assert the orderings the paper's evaluation hinges on, using small
+but real traces from the profile generator.  All schemes must run with
+the dataflow checker silent, and leave consistent machine state.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import CheckpointPolicy, WarPolicy, eight_wide, four_wide
+from repro.core.machine import Machine, simulate
+
+_SCHEMES = {
+    "base": lambda c: c,
+    "ER": lambda c: c.with_early_release(),
+    "PRI": lambda c: c.with_pri(),
+    "PRI-lazy": lambda c: c.with_pri(WarPolicy.REFCOUNT, CheckpointPolicy.LAZY),
+    "PRI-ideal": lambda c: c.with_pri(WarPolicy.IDEAL, CheckpointPolicy.LAZY),
+    "PRI+ER": lambda c: c.with_pri().with_early_release(),
+    "inf": lambda c: dataclasses.replace(c, int_phys_regs=4096, fp_phys_regs=4096),
+}
+
+
+@pytest.fixture(scope="module", params=["gzip", "mcf", "swim"])
+def workload(request):
+    from repro.workloads import generate_trace
+
+    return generate_trace(request.param, 2500, seed=11, warmup=6000)
+
+
+@pytest.mark.parametrize("scheme", sorted(_SCHEMES))
+@pytest.mark.parametrize("width_cfg", [four_wide, eight_wide], ids=["4w", "8w"])
+def test_scheme_runs_clean(workload, scheme, width_cfg):
+    cfg = _SCHEMES[scheme](width_cfg())
+    m = Machine(cfg)
+    stats = m.run(workload)
+    assert stats.committed == len(workload)
+    assert stats.ipc > 0
+    m.assert_invariants()
+
+
+class TestOrderings:
+    @pytest.fixture(scope="class")
+    def results(self, workload):
+        cfg = four_wide()
+        return {name: simulate(mk(cfg), workload) for name, mk in _SCHEMES.items()}
+
+    def test_every_scheme_at_least_base(self, results):
+        for name, stats in results.items():
+            if name == "base":
+                continue
+            assert stats.ipc >= results["base"].ipc * 0.995, name
+
+    def test_inf_is_the_upper_bound(self, results):
+        for name, stats in results.items():
+            assert results["inf"].ipc >= stats.ipc * 0.995, name
+
+    def test_ideal_at_least_refcount(self, results):
+        assert results["PRI-ideal"].ipc >= results["PRI"].ipc * 0.995
+
+    def test_lazy_at_least_ckptcount(self, results):
+        assert results["PRI-lazy"].ipc >= results["PRI"].ipc * 0.995
+
+    def test_pri_reduces_occupancy(self, results):
+        assert (results["PRI"].avg_occupancy("int")
+                <= results["base"].avg_occupancy("int"))
+
+    def test_pri_plus_er_reduces_lifetime_most(self, results):
+        """Figure 8: PRI+ER shows the largest lifetime reduction."""
+        base = results["base"].lifetime("int").avg_total
+        pri = results["PRI"].lifetime("int").avg_total
+        both = results["PRI+ER"].lifetime("int").avg_total
+        assert pri < base
+        assert both < base
+        assert both <= pri * 1.05
+
+    def test_phase3_is_what_shrinks(self, results):
+        """The last-read→release phase is the one the schemes attack."""
+        base = results["base"].lifetime("int")
+        both = results["PRI+ER"].lifetime("int")
+        assert both.avg_last_read_to_release < base.avg_last_read_to_release

@@ -1,0 +1,198 @@
+"""Physical register inlining behaviour tests.
+
+These exercise the mechanism on hand-built traces: the significance
+check, the late map update and its Figure 7 WAW guard, early freeing,
+duplicate deallocation at the redefiner's commit, FP inlining rules, and
+the width-threshold boundary.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.machine import Machine, simulate
+from repro.isa.values import MAX_UINT64, pack_fp
+from repro.workloads import TraceBuilder
+
+_COLD = 0x4000_0000
+
+
+def _pri(cfg):
+    return cfg.with_pri()
+
+
+def _narrow_producer_trace(value=5, fillers=60):
+    """One narrow producer, then unrelated work so retirement happens
+    long before the trace ends."""
+    b = TraceBuilder()
+    b.alu(dest=1, value=value)
+    for i in range(fillers):
+        b.alu(dest=2 + (i % 5), value=0x1000_0000 + i)
+    return b.build()
+
+
+class TestInlining:
+    def test_narrow_value_is_inlined(self, cfg4):
+        stats = simulate(_pri(cfg4), _narrow_producer_trace(5))
+        assert stats.inline_attempts >= 1
+        assert stats.inlined >= 1
+
+    def test_wide_value_is_not(self, cfg4):
+        stats = simulate(_pri(cfg4), _narrow_producer_trace(0x12345678, fillers=10))
+        # Fillers write narrow values; check the wide producer alone.
+        b = TraceBuilder()
+        b.alu(dest=1, value=0x12345678)
+        stats = simulate(_pri(cfg4), b.build())
+        assert stats.inline_attempts == 0
+        assert stats.inlined == 0
+
+    @pytest.mark.parametrize("value,inlined", [
+        (63, True), (64, False), (-64, True), (-65, False), (0, True), (-1, True),
+    ])
+    def test_7_bit_threshold_4wide(self, cfg4, value, inlined):
+        b = TraceBuilder()
+        b.alu(dest=1, value=value)
+        b.nops(30, dest=2, value=0x12345678)
+        stats = simulate(_pri(cfg4), b.build())
+        assert (stats.inlined == 1) == inlined
+
+    @pytest.mark.parametrize("value,inlined", [
+        (511, True), (512, False), (-512, True), (-513, False),
+    ])
+    def test_10_bit_threshold_8wide(self, cfg8, value, inlined):
+        b = TraceBuilder()
+        b.alu(dest=1, value=value)
+        b.nops(30, dest=2, value=0x12345678)
+        stats = simulate(_pri(cfg8), b.build())
+        assert (stats.inlined == 1) == inlined
+
+    def test_consumer_after_inline_reads_immediate(self, cfg4):
+        """A consumer renamed long after the producer retired must read
+        the inlined value from the map (dataflow asserts correctness)."""
+        b = TraceBuilder()
+        b.alu(dest=1, value=5)
+        b.nops(40, dest=2, value=0x12345678)
+        b.alu(dest=3, value=6, srcs=[1])
+        stats = simulate(_pri(cfg4), b.build())
+        assert stats.committed == 42
+        assert stats.inlined >= 1
+
+
+class TestFpInlining:
+    def test_all_zero_pattern_inlined(self, cfg4):
+        b = TraceBuilder()
+        b.fp(dest=1, value=0)
+        b.nops(30, dest=2, value=0x12345678)
+        stats = simulate(_pri(cfg4), b.build())
+        assert stats.inlined >= 1
+
+    def test_all_ones_pattern_inlined(self, cfg4):
+        b = TraceBuilder()
+        b.fp(dest=1, value=MAX_UINT64)
+        b.nops(30, dest=2, value=0x12345678)
+        assert simulate(_pri(cfg4), b.build()).inlined >= 1
+
+    def test_ordinary_double_not_inlined(self, cfg4):
+        b = TraceBuilder()
+        b.fp(dest=1, value=pack_fp(1.5))
+        b.nops(30, dest=2, value=0x12345678)
+        stats = simulate(_pri(cfg4), b.build())
+        assert stats.inlined == 0
+
+    def test_fp_inline_can_be_disabled(self, cfg4):
+        cfg = cfg4.with_pri(inline_fp=False)
+        b = TraceBuilder()
+        b.fp(dest=1, value=0)
+        b.nops(30, dest=2, value=0x12345678)
+        # NOTE: inline_fp gating happens in the machine config plumbing.
+        stats = simulate(cfg, b.build())
+        assert stats.committed == 31
+
+
+class TestWawGuard:
+    def test_late_update_dropped_after_remap(self, cfg4):
+        """Figure 7: the producer's result arrives after a younger writer
+        remapped the register — the map write must be dropped."""
+        b = TraceBuilder()
+        b.alu(dest=1, value=_COLD)
+        b.load(dest=2, addr=_COLD, value=5, base=1)  # narrow, but slow
+        b.alu(dest=2, value=90)  # redefines r2 before the load retires
+        b.nops(30, dest=3, value=0x12345678)
+        b.alu(dest=4, value=1, srcs=[2])  # must read 90, not 5
+        stats = simulate(_pri(cfg4), b.build())
+        assert stats.inline_waw_dropped >= 1
+        assert stats.committed == 34
+
+
+class TestEarlyFree:
+    def test_inlined_register_freed_early(self, cfg4):
+        stats = simulate(_pri(cfg4), _narrow_producer_trace(5))
+        assert stats.pri_early_frees >= 1
+
+    def test_redefiner_after_inline_frees_nothing(self, cfg4):
+        """A redefiner renamed *after* the inline finds an immediate in
+        the map — it records no previous register, so no duplicate
+        deallocation arises on this path (the Figure 7 check is what
+        makes that safe)."""
+        b = TraceBuilder()
+        b.alu(dest=1, value=5)  # inlined and freed early
+        b.nops(40, dest=2, value=0x12345678)
+        b.alu(dest=1, value=0x7777777)  # redefiner sees the immediate
+        b.nops(20, dest=3, value=0x12345678)
+        stats = simulate(_pri(cfg4), b.build())
+        assert stats.pri_early_frees >= 1
+        assert stats.duplicate_deallocs == 0
+
+    def test_er_redefiner_commit_is_duplicate_dealloc(self, cfg4):
+        """Under early release the redefiner *does* hold a stale previous
+        pointer: its commit re-frees the register the ER logic already
+        freed — the duplicate deallocation Section 3.2 requires the free
+        list to tolerate."""
+        b = TraceBuilder()
+        b.alu(dest=1, value=0x5555555)
+        b.alu(dest=4, value=0x666666, srcs=[1])  # last read of r1
+        b.alu(dest=1, value=0x7777777)  # unmaps; ER frees the old register
+        b.nops(40, dest=2, value=0x12345678)
+        stats = simulate(cfg4.with_early_release(), b.build())
+        assert stats.er_early_frees >= 1
+        assert stats.duplicate_deallocs >= 1
+
+    def test_occupancy_reduced_on_real_workload(self, cfg4_real, gzip_trace):
+        base = simulate(cfg4_real, gzip_trace)
+        pri = simulate(_pri(cfg4_real), gzip_trace)
+        assert pri.avg_occupancy("int") < base.avg_occupancy("int")
+
+    def test_lifetime_reduced_on_real_workload(self, cfg4_real, gzip_trace):
+        base = simulate(cfg4_real, gzip_trace)
+        pri = simulate(_pri(cfg4_real), gzip_trace)
+        assert pri.lifetime("int").avg_total < base.lifetime("int").avg_total
+
+
+class TestLoadImmediateExtension:
+    """Paper §6 (future work): a load-immediate of a narrow value acts as
+    a compiler dead-register hint — the value goes straight into the map
+    at rename and no physical register is allocated at all."""
+
+    def _cfg(self, cfg):
+        return cfg.with_pri(inline_on_load_immediate=True)
+
+    def test_no_register_allocated(self, cfg4):
+        b = TraceBuilder()
+        b.alu(dest=1, value=5)  # no sources: a load-immediate
+        b.alu(dest=2, value=6, srcs=[1])
+        stats = simulate(self._cfg(cfg4), b.build())
+        assert stats.committed == 2
+        assert stats.inlined >= 1
+
+    def test_reduces_register_stalls(self, cfg4):
+        """With a tiny register file, li-inlining avoids allocation
+        stalls that the plain machine hits."""
+        b = TraceBuilder()
+        for i in range(120):
+            b.alu(dest=1 + (i % 8), value=i % 50)  # all load-immediates
+        trace = b.build()
+        tight = dataclasses.replace(cfg4, int_phys_regs=36)
+        base = simulate(tight, trace)
+        li = simulate(self._cfg(tight), trace)
+        assert li.cycles <= base.cycles
+        assert li.rename_stall_regs <= base.rename_stall_regs

@@ -1,0 +1,70 @@
+"""Statistics container tests."""
+
+import pytest
+
+from repro.core.stats import LifetimeStats, SimStats
+
+
+class TestLifetimeStats:
+    def test_normal_record(self):
+        life = LifetimeStats()
+        life.record(alloc=10, write=14, last_read=20, release=30)
+        assert life.avg_alloc_to_write == 4
+        assert life.avg_write_to_last_read == 6
+        assert life.avg_last_read_to_release == 10
+        assert life.avg_total == 20
+
+    def test_never_written(self):
+        life = LifetimeStats()
+        life.record(alloc=10, write=None, last_read=None, release=18)
+        assert life.avg_alloc_to_write == 8
+        assert life.avg_write_to_last_read == 0
+        assert life.avg_last_read_to_release == 0
+
+    def test_never_read(self):
+        life = LifetimeStats()
+        life.record(alloc=10, write=12, last_read=None, release=20)
+        assert life.avg_write_to_last_read == 0
+        assert life.avg_last_read_to_release == 8
+
+    def test_read_before_write_clamped(self):
+        life = LifetimeStats()
+        life.record(alloc=0, write=10, last_read=5, release=20)
+        assert life.avg_write_to_last_read == 0
+        assert life.avg_last_read_to_release == 10
+
+    def test_averaging(self):
+        life = LifetimeStats()
+        life.record(0, 2, 4, 10)
+        life.record(0, 4, 8, 20)
+        assert life.releases == 2
+        assert life.avg_alloc_to_write == 3
+        assert life.avg_total == 15
+
+    def test_empty(self):
+        assert LifetimeStats().avg_total == 0.0
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats()
+        stats.cycles = 100
+        stats.committed = 150
+        assert stats.ipc == pytest.approx(1.5)
+
+    def test_ipc_empty(self):
+        assert SimStats().ipc == 0.0
+
+    def test_occupancy(self):
+        stats = SimStats()
+        stats.cycles = 10
+        stats.occupancy_sum["int"] = 500
+        assert stats.avg_occupancy("int") == 50
+
+    def test_summary_mentions_key_numbers(self):
+        stats = SimStats()
+        stats.cycles = 10
+        stats.committed = 20
+        text = stats.summary()
+        assert "ipc=2.000" in text
+        assert "cycles=10" in text

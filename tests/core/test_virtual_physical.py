@@ -1,0 +1,131 @@
+"""Virtual-physical (delayed register allocation) mode tests.
+
+The paper's Section 6 names the interaction of PRI with delayed
+allocation through virtual-physical registers [7,17] as future work;
+``MachineConfig.virtual_physical`` implements it: rename binds
+destinations to unbounded virtual tags, and a physical register is
+claimed only at issue.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.machine import Machine, SimulationError, simulate
+from repro.workloads import TraceBuilder, generate_trace
+
+_COLD = 0x4000_0000
+
+
+def _vp(cfg):
+    return cfg.with_virtual_physical()
+
+
+def _tight(cfg, regs=36):
+    return dataclasses.replace(cfg, int_phys_regs=regs, fp_phys_regs=regs)
+
+
+class TestBasics:
+    def test_runs_simple_programs(self, cfg4):
+        b = TraceBuilder()
+        b.alu(dest=1, value=5)
+        b.alu(dest=2, value=6, srcs=[1])
+        b.alu(dest=3, value=11, srcs=[1, 2])
+        stats = simulate(_vp(cfg4), b.build())
+        assert stats.committed == 3
+
+    def test_rejects_early_release_combo(self, cfg4):
+        with pytest.raises(ValueError):
+            Machine(_vp(cfg4).with_early_release())
+
+    def test_real_workload_runs_clean(self, cfg4_real, gzip_trace):
+        m = Machine(_vp(cfg4_real))
+        stats = m.run(gzip_trace)
+        assert stats.committed == len(gzip_trace)
+        m.assert_invariants()
+
+    def test_with_branches_and_recovery(self, cfg4):
+        b = TraceBuilder()
+        b.alu(dest=1, value=1)
+        for i in range(5):
+            b.branch(taken=True, cond=1, target=0x400800 + i * 0x40)
+            for j in range(6):
+                b.alu(dest=2 + j % 4, value=i * 10 + j, srcs=[1])
+        stats = simulate(_vp(cfg4), b.build())
+        assert stats.committed == len(b.ops)
+
+
+class TestDelayedAllocation:
+    def test_alloc_to_write_phase_shrinks(self, cfg4_real, gzip_trace):
+        base = simulate(cfg4_real, gzip_trace)
+        vp = simulate(_vp(cfg4_real), gzip_trace)
+        assert (vp.lifetime("int").avg_alloc_to_write
+                < base.lifetime("int").avg_alloc_to_write)
+
+    def test_no_rename_stalls_for_registers(self, cfg4_real, gzip_trace):
+        vp = simulate(_tight(_vp(cfg4_real), regs=40), gzip_trace)
+        assert vp.rename_stall_regs == 0
+
+    def test_alloc_stalls_move_to_issue(self, cfg4_real, gzip_trace):
+        vp = simulate(_tight(_vp(cfg4_real), regs=40), gzip_trace)
+        assert vp.vp_alloc_stalls > 0
+
+    def test_helps_when_register_starved(self, cfg4_real, gzip_trace):
+        tight_base = simulate(_tight(cfg4_real, regs=40), gzip_trace)
+        tight_vp = simulate(_tight(_vp(cfg4_real), regs=40), gzip_trace)
+        assert tight_vp.ipc > tight_base.ipc
+
+
+class TestDeadlockFreedom:
+    """The reserve-for-oldest rule must keep the machine live even with
+    barely more registers than architected state."""
+
+    @pytest.mark.parametrize("regs", [33, 34, 36])
+    def test_minimal_register_files(self, cfg4, regs):
+        b = TraceBuilder()
+        for i in range(200):
+            b.alu(dest=1 + (i % 8), value=0x1000_0000 + i,
+                  srcs=[1 + ((i + 3) % 8)])
+        cfg = dataclasses.replace(_vp(cfg4), int_phys_regs=regs)
+        stats = simulate(cfg, b.build())
+        assert stats.committed == 200
+
+    def test_long_miss_under_pressure(self, cfg4):
+        b = TraceBuilder()
+        b.alu(dest=1, value=_COLD)
+        b.load(dest=2, addr=_COLD, value=7, base=1)
+        for i in range(150):
+            b.alu(dest=3 + (i % 5), value=0x2000_0000 + i)
+        cfg = dataclasses.replace(_vp(cfg4), int_phys_regs=34)
+        stats = simulate(cfg, b.build())
+        assert stats.committed == 152
+
+
+class TestWithPri:
+    def test_inlined_registers_free_unconditionally(self, cfg4):
+        b = TraceBuilder()
+        b.alu(dest=1, value=5)
+        b.nops(40, dest=2, value=0x12345678)
+        stats = simulate(_vp(cfg4).with_pri(), b.build())
+        assert stats.inlined >= 1
+        assert stats.pri_early_frees >= 1
+
+    def test_combination_beats_pri_alone_when_starved(self, cfg4_real, gzip_trace):
+        pri = simulate(_tight(cfg4_real, regs=40).with_pri(), gzip_trace)
+        both = simulate(_tight(_vp(cfg4_real), regs=40).with_pri(), gzip_trace)
+        assert both.ipc >= pri.ipc * 0.98
+
+    def test_consumer_reads_through_vtag_after_free(self, cfg4):
+        """A delayed consumer still reads correctly after PRI freed the
+        producer's physical register — the vtag table holds the value."""
+        b = TraceBuilder()
+        b.alu(dest=1, value=_COLD)
+        b.load(dest=2, addr=_COLD, value=0x999999999, base=1)  # slow
+        b.alu(dest=3, value=5)  # narrow; freed at retire
+        b.alu(dest=4, value=0x99999999E, srcs=[2, 3])  # delayed consumer
+        for i in range(60):
+            b.alu(dest=5 + (i % 3), value=0x3000_0000 + i)
+        cfg = dataclasses.replace(_vp(cfg4).with_pri(), int_phys_regs=40)
+        stats = simulate(cfg, b.build())
+        assert stats.committed == 64
+        assert stats.war_replays == 0

@@ -1,0 +1,47 @@
+"""ASCII chart rendering tests."""
+
+from repro.experiments.report import bar_chart, stacked_bar_chart
+
+
+class TestBarChart:
+    def test_longest_bar_for_largest_value(self):
+        text = bar_chart("t", [("a", 1.1), ("b", 1.4)], baseline=1.0)
+        lines = text.splitlines()
+        a_len = lines[1].count("#")
+        b_len = lines[2].count("#")
+        assert b_len > a_len > 0
+
+    def test_baseline_subtracted(self):
+        text = bar_chart("t", [("x", 1.0)], baseline=1.0)
+        assert text.splitlines()[1].count("#") == 0
+
+    def test_empty(self):
+        assert bar_chart("title", []) == "title"
+
+    def test_values_printed(self):
+        assert "1.250" in bar_chart("t", [("x", 1.25)])
+
+
+class TestStackedBarChart:
+    def test_segments_use_distinct_fills(self):
+        text = stacked_bar_chart(
+            "t", [("x", (10.0, 20.0, 30.0))], ("p1", "p2", "p3")
+        )
+        row = text.splitlines()[-1]
+        assert "#" in row and "=" in row and "+" in row
+        assert row.index("#") < row.index("=") < row.index("+")
+
+    def test_legend_present(self):
+        text = stacked_bar_chart("t", [("x", (1.0,))], ("phase",))
+        assert "#=phase" in text
+
+    def test_totals_shown(self):
+        text = stacked_bar_chart("t", [("x", (10.0, 5.0))], ("a", "b"))
+        assert "15.0" in text
+
+    def test_relative_lengths(self):
+        text = stacked_bar_chart(
+            "t", [("big", (40.0,)), ("small", (10.0,))], ("a",)
+        )
+        lines = text.splitlines()
+        assert lines[2].count("#") > lines[3].count("#")

@@ -1,0 +1,32 @@
+"""CLI entry point tests (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_requires_a_target(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_table_1(capsys):
+    assert main(["--table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "4-wide" in out and "8-wide" in out
+
+
+def test_single_figure_tiny(capsys):
+    code = main(["--figure", "1", "--length", "120", "--warmup", "300",
+                 "--width", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "last-read->release" in out
+    assert "width 8" not in out  # restricted to one width
+
+
+def test_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["--figure", "3"])  # Figure 3 is a structural diagram

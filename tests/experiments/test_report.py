@@ -1,0 +1,39 @@
+"""Report formatting tests."""
+
+import pytest
+
+from repro.experiments.report import format_table, geomean, mean
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            "title", ("name", "x"), [("alpha", 1.5), ("b", 2.0)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "alpha" in text and "1.500" in text
+        header_idx = next(i for i, l in enumerate(lines) if "name" in l)
+        rows = lines[header_idx + 2:-1]
+        assert len(rows) == 2
+        assert all(len(row) == len(rows[0]) for row in rows)
+
+    def test_custom_float_format(self):
+        text = format_table("t", ("a",), [(1.23456,)], floatfmt="{:.1f}")
+        assert "1.2" in text and "1.23" not in text
+
+    def test_non_float_cells_pass_through(self):
+        text = format_table("t", ("a", "b"), [("x", 7)])
+        assert "x" in text and "7" in text
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])

@@ -1,0 +1,65 @@
+"""Experiment runner tests."""
+
+import pytest
+
+from repro.experiments.runner import (
+    FIGURE10_SCHEMES,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    SCHEMES,
+    RunSpec,
+    TraceCache,
+    run_matrix,
+    run_one,
+    speedups_over_base,
+    width_config,
+)
+
+_SPEC = RunSpec(length=400, warmup=800, seed=2)
+
+
+class TestRegistry:
+    def test_scheme_names_match_figure10_legend(self):
+        assert set(FIGURE10_SCHEMES) | {"base"} == set(SCHEMES)
+
+    def test_benchmark_lists(self):
+        assert len(INT_BENCHMARKS) == 13
+        assert len(FP_BENCHMARKS) == 14
+
+    def test_width_config(self):
+        assert width_config(4).width == 4
+        assert width_config(8).scheduler_entries == 512
+        with pytest.raises(ValueError):
+            width_config(6)
+
+    def test_scheme_transformers(self):
+        base = width_config(4)
+        assert SCHEMES["PRI-refcount+ckptcount"](base).pri.enabled
+        assert SCHEMES["ER"](base).early_release
+        assert not SCHEMES["ER"](base).pri.enabled
+        both = SCHEMES["PRI+ER"](base)
+        assert both.pri.enabled and both.early_release
+        assert SCHEMES["inf"](base).int_phys_regs >= 1024
+
+
+class TestRunning:
+    def test_run_one(self):
+        stats = run_one("gzip", "base", 4, _SPEC, TraceCache())
+        assert stats.committed == 400
+        assert stats.ipc > 0
+
+    def test_trace_cache_reuses(self):
+        cache = TraceCache()
+        a = cache.get("gzip", _SPEC)
+        b = cache.get("gzip", _SPEC)
+        assert a is b
+        c = cache.get("gzip", RunSpec(length=401, warmup=800, seed=2))
+        assert c is not a
+
+    def test_matrix_and_speedups(self):
+        cache = TraceCache()
+        matrix = run_matrix(["gzip"], ["base", "inf"], 4, _SPEC, cache)
+        assert set(matrix) == {"gzip"}
+        speedups = speedups_over_base(matrix)
+        assert "inf" in speedups["gzip"]
+        assert speedups["gzip"]["inf"] > 0.9

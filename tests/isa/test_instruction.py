@@ -1,0 +1,67 @@
+"""MicroOp structural validation tests."""
+
+import pytest
+
+from repro.isa.instruction import MicroOp, SourceOperand
+from repro.isa.opcodes import OpClass, RegClass
+
+
+def _src(idx, value=0):
+    return SourceOperand(RegClass.INT, idx, value)
+
+
+def test_plain_alu_valid():
+    op = MicroOp(0, 0x400000, OpClass.INT_ALU, sources=(_src(1),), dest=2, result=5)
+    op.validate()
+    assert op.writes_register
+    assert not op.is_branch and not op.is_load and not op.is_store
+
+
+def test_memory_op_requires_address():
+    op = MicroOp(0, 0x400000, OpClass.LOAD, dest=2, result=5)
+    with pytest.raises(ValueError):
+        op.validate()
+
+
+def test_non_memory_op_rejects_address():
+    op = MicroOp(0, 0x400000, OpClass.INT_ALU, dest=2, result=5, mem_addr=0x1000)
+    with pytest.raises(ValueError):
+        op.validate()
+
+
+def test_store_must_not_write_register():
+    op = MicroOp(0, 0x400000, OpClass.STORE, sources=(_src(1),), dest=2,
+                 mem_addr=0x1000)
+    with pytest.raises(ValueError):
+        op.validate()
+
+
+def test_branch_must_not_write_register():
+    op = MicroOp(0, 0x400000, OpClass.BRANCH, dest=3, taken=True, target=4)
+    with pytest.raises(ValueError):
+        op.validate()
+
+
+def test_at_most_two_sources():
+    op = MicroOp(
+        0, 0x400000, OpClass.INT_ALU,
+        sources=(_src(1), _src(2), _src(3)), dest=4, result=0,
+    )
+    with pytest.raises(ValueError):
+        op.validate()
+
+
+def test_flags():
+    load = MicroOp(0, 0, OpClass.FP_LOAD, dest=1, dest_class=RegClass.FP,
+                   mem_addr=8)
+    load.validate()
+    assert load.is_load and not load.is_store
+    ret = MicroOp(1, 0, OpClass.RETURN, taken=True, target=4, is_indirect=True)
+    ret.validate()
+    assert ret.is_branch
+
+
+def test_repr_mentions_dest():
+    op = MicroOp(3, 0x400010, OpClass.INT_ALU, dest=2, result=0xBEEF)
+    assert "r2" in repr(op)
+    assert "INT_ALU" in repr(op)

@@ -1,0 +1,59 @@
+"""Op-class taxonomy tests."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    LATENCY,
+    OpClass,
+    RegClass,
+    dest_reg_class,
+    is_branch,
+    is_fp,
+    is_load,
+    is_mem,
+    is_store,
+)
+
+
+def test_every_class_has_a_latency():
+    for op in OpClass:
+        assert op in LATENCY
+        assert LATENCY[op] >= 1
+
+
+def test_latency_ordering():
+    assert LATENCY[OpClass.INT_ALU] < LATENCY[OpClass.INT_MUL] < LATENCY[OpClass.INT_DIV]
+    assert LATENCY[OpClass.FP_ADD] <= LATENCY[OpClass.FP_MUL] < LATENCY[OpClass.FP_DIV]
+
+
+@pytest.mark.parametrize("op", [OpClass.BRANCH, OpClass.CALL, OpClass.RETURN])
+def test_branches(op):
+    assert is_branch(op)
+    assert not is_mem(op)
+
+
+def test_loads_and_stores():
+    assert is_load(OpClass.LOAD) and is_load(OpClass.FP_LOAD)
+    assert is_store(OpClass.STORE) and is_store(OpClass.FP_STORE)
+    for op in (OpClass.LOAD, OpClass.STORE, OpClass.FP_LOAD, OpClass.FP_STORE):
+        assert is_mem(op)
+    assert not is_load(OpClass.STORE)
+    assert not is_store(OpClass.LOAD)
+
+
+def test_mem_is_exactly_loads_plus_stores():
+    for op in OpClass:
+        assert is_mem(op) == (is_load(op) or is_store(op))
+
+
+def test_fp_cluster():
+    assert is_fp(OpClass.FP_ADD) and is_fp(OpClass.FP_MUL) and is_fp(OpClass.FP_DIV)
+    assert is_fp(OpClass.FP_LOAD) and is_fp(OpClass.FP_STORE)
+    assert not is_fp(OpClass.INT_ALU) and not is_fp(OpClass.LOAD)
+
+
+def test_dest_reg_class():
+    assert dest_reg_class(OpClass.FP_ADD) == RegClass.FP
+    assert dest_reg_class(OpClass.FP_LOAD) == RegClass.FP
+    assert dest_reg_class(OpClass.INT_ALU) == RegClass.INT
+    assert dest_reg_class(OpClass.LOAD) == RegClass.INT

@@ -1,0 +1,38 @@
+"""Architected register name tests."""
+
+import pytest
+
+from repro.isa.opcodes import RegClass
+from repro.isa.registers import (
+    FP_ZERO_REG,
+    INT_ZERO_REG,
+    NUM_FP_ARCH_REGS,
+    NUM_INT_ARCH_REGS,
+    ArchReg,
+    num_arch_regs,
+)
+
+
+def test_alpha_register_counts():
+    assert NUM_INT_ARCH_REGS == 32
+    assert NUM_FP_ARCH_REGS == 32
+    assert num_arch_regs(RegClass.INT) == 32
+    assert num_arch_regs(RegClass.FP) == 32
+
+
+def test_zero_registers():
+    assert ArchReg(RegClass.INT, INT_ZERO_REG).is_zero
+    assert ArchReg(RegClass.FP, FP_ZERO_REG).is_zero
+    assert not ArchReg(RegClass.INT, 0).is_zero
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        ArchReg(RegClass.INT, 32)
+    with pytest.raises(ValueError):
+        ArchReg(RegClass.FP, -1)
+
+
+def test_repr():
+    assert repr(ArchReg(RegClass.INT, 5)) == "r5"
+    assert repr(ArchReg(RegClass.FP, 7)) == "f7"

@@ -1,0 +1,158 @@
+"""Unit and property tests for value-significance helpers — the precise
+definition of "narrow" that the whole PRI mechanism hinges on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.values import (
+    MAX_UINT64,
+    fits_in_bits,
+    fp_exponent_bits,
+    fp_exponent_field,
+    fp_significand_bits,
+    fp_significand_field,
+    is_all_zeros_or_ones,
+    pack_fp,
+    sign_extend,
+    significant_bits,
+    to_signed64,
+    to_unsigned64,
+    unpack_fp,
+)
+
+int64s = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+class TestSignificantBits:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, 1),
+            (-1, 1),
+            (1, 2),
+            (-2, 2),
+            (2, 3),
+            (3, 3),
+            (-3, 3),
+            (-4, 3),
+            (63, 7),
+            (64, 8),
+            (-64, 7),
+            (-65, 8),
+            (127, 8),
+            (-128, 8),
+            (128, 9),
+            ((1 << 62) - 1, 63),
+            (1 << 62, 64),
+            (-(1 << 63), 64),
+            ((1 << 63) - 1, 64),
+        ],
+    )
+    def test_known_widths(self, value, expected):
+        assert significant_bits(value) == expected
+
+    @given(int64s)
+    def test_minimality(self, value):
+        """significant_bits is the *smallest* k that round-trips."""
+        k = significant_bits(value)
+        assert sign_extend(value, k) == value
+        if k > 1:
+            assert sign_extend(value, k - 1) != value
+
+    @given(int64s)
+    def test_range_is_valid(self, value):
+        assert 1 <= significant_bits(value) <= 64
+
+    @given(int64s, st.integers(min_value=1, max_value=64))
+    def test_fits_iff_roundtrip(self, value, nbits):
+        assert fits_in_bits(value, nbits) == (sign_extend(value, nbits) == value)
+
+    def test_fits_in_zero_bits_is_false(self):
+        assert not fits_in_bits(0, 0)
+        assert not fits_in_bits(0, -3)
+
+    @given(int64s)
+    def test_fits_in_64_always(self, value):
+        assert fits_in_bits(value, 64)
+        assert fits_in_bits(value, 100)
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_negative(self):
+        assert sign_extend(0x80, 8) == -128
+        assert sign_extend(0xFF, 8) == -1
+
+    def test_masks_high_bits(self):
+        assert sign_extend(0x1FF, 8) == -1
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    @given(st.integers(min_value=0, max_value=MAX_UINT64))
+    def test_full_width_is_signed_view(self, pattern):
+        assert sign_extend(pattern, 64) == to_signed64(pattern)
+
+
+class TestConversions:
+    @given(int64s)
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_signed64(to_unsigned64(value)) == value
+
+    @given(st.integers(min_value=0, max_value=MAX_UINT64))
+    def test_unsigned_signed_roundtrip(self, pattern):
+        assert to_unsigned64(to_signed64(pattern)) == pattern
+
+
+class TestAllZerosOrOnes:
+    def test_zero_and_ones(self):
+        assert is_all_zeros_or_ones(0)
+        assert is_all_zeros_or_ones(MAX_UINT64)
+        assert is_all_zeros_or_ones(-1)  # signed view of all-ones
+
+    @given(st.integers(min_value=1, max_value=MAX_UINT64 - 1))
+    def test_other_patterns_are_not(self, pattern):
+        assert not is_all_zeros_or_ones(pattern)
+
+
+class TestFpFields:
+    def test_zero_pattern(self):
+        assert fp_exponent_bits(0) == 0
+        assert fp_significand_bits(0) == 0
+
+    def test_ones_pattern(self):
+        assert fp_exponent_bits(MAX_UINT64) == 0
+        assert fp_significand_bits(MAX_UINT64) == 0
+
+    def test_packing_roundtrip(self):
+        for value in (0.0, 1.0, -2.5, 1e300, -1e-300):
+            assert unpack_fp(pack_fp(value)) == value
+
+    def test_field_extraction(self):
+        one = pack_fp(1.0)
+        assert fp_exponent_field(one) == 1023
+        assert fp_significand_field(one) == 0
+
+    def test_one_has_zero_significand_bits(self):
+        assert fp_significand_bits(pack_fp(1.0)) == 0
+
+    def test_small_integer_double_has_few_significand_bits(self):
+        # 1.5 = significand 0.1b -> exactly 1 high-order significand bit.
+        assert fp_significand_bits(pack_fp(1.5)) == 1
+        assert fp_significand_bits(pack_fp(1.75)) == 2
+
+    @given(st.integers(min_value=0, max_value=MAX_UINT64))
+    def test_ranges(self, pattern):
+        assert 0 <= fp_exponent_bits(pattern) <= 11
+        assert 0 <= fp_significand_bits(pattern) <= 52
+
+    @given(st.integers(min_value=1, max_value=(1 << 52) - 2))
+    def test_significand_bits_counts_trailing_zeros(self, frac):
+        bits = fp_significand_bits(frac)
+        # frac has exactly 52-bits trailing zeros -> reconstructible.
+        assert frac % (1 << (52 - bits)) == 0
+        assert (frac >> (52 - bits)) & 1 == 1

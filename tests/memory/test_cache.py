@@ -1,0 +1,92 @@
+"""Set-associative cache model tests."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+def _tiny(assoc=2, line=16, sets=4, latency=2, next_level=None, mem=100):
+    config = CacheConfig(size=assoc * line * sets, assoc=assoc, line=line,
+                         latency=latency)
+    return Cache("T", config, next_level=next_level, memory_latency=mem)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = _tiny()
+        r = c.access(0x1000)
+        assert not r.hit
+        assert r.latency == 2 + 100
+        r = c.access(0x1000)
+        assert r.hit
+        assert r.latency == 2
+
+    def test_same_line_hits(self):
+        c = _tiny(line=16)
+        c.access(0x1000)
+        assert c.access(0x100F).hit
+        assert not c.access(0x1010).hit
+
+    def test_miss_rate(self):
+        c = _tiny()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.accesses == 3
+        assert c.miss_rate == pytest.approx(1 / 3)
+
+    def test_flush(self):
+        c = _tiny()
+        c.access(0x1000)
+        c.flush()
+        assert not c.access(0x1000).hit
+
+    def test_lookup_does_not_touch(self):
+        c = _tiny()
+        assert not c.lookup(0x1000)
+        c.access(0x1000)
+        hits, misses = c.hits, c.misses
+        assert c.lookup(0x1000)
+        assert (c.hits, c.misses) == (hits, misses)
+
+
+class TestReplacement:
+    def test_lru_within_set(self):
+        c = _tiny(assoc=2, line=16, sets=4)
+        stride = 4 * 16  # same set
+        a, b, d = 0, stride, 2 * stride
+        c.access(a)
+        c.access(b)
+        c.access(a)      # a MRU, b LRU
+        c.access(d)      # evicts b
+        assert c.lookup(a)
+        assert not c.lookup(b)
+        assert c.lookup(d)
+
+    def test_different_sets_do_not_conflict(self):
+        c = _tiny(assoc=1, line=16, sets=4)
+        c.access(0x00)
+        c.access(0x10)  # next set
+        assert c.lookup(0x00) and c.lookup(0x10)
+
+
+class TestHierarchyComposition:
+    def test_l2_absorbs_l1_miss(self):
+        l2 = _tiny(assoc=4, line=64, sets=16, latency=12)
+        l1 = _tiny(assoc=2, line=16, sets=4, latency=2, next_level=l2)
+        r = l1.access(0x4000)
+        assert r.latency == 2 + 12 + 100  # L1 miss + L2 miss + memory
+        l1.flush()
+        r = l1.access(0x4000)
+        assert r.latency == 2 + 12  # L1 miss, L2 hit
+
+
+class TestValidation:
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            Cache("bad", CacheConfig(size=48, assoc=1, line=16, latency=1))
+
+    def test_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            Cache("bad", CacheConfig(size=96, assoc=2, line=24, latency=1))

@@ -1,0 +1,54 @@
+"""Memory hierarchy (Table 1) composition tests."""
+
+from repro.config import MemoryConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def test_paper_latencies():
+    mem = MemoryHierarchy()
+    # Cold data access: DL1 miss (2) + L2 miss (12) + memory (150).
+    assert mem.load_latency(0x1000_0000) == 2 + 12 + 150
+    # Now DL1-resident.
+    assert mem.load_latency(0x1000_0000) == 2
+
+
+def test_l1s_share_the_l2():
+    mem = MemoryHierarchy()
+    mem.load_latency(0x2000_0000)  # brings the line into DL1 + L2
+    # An instruction fetch of the same line: IL1 misses, L2 hits.
+    assert mem.fetch_latency(0x2000_0000) == 2 + 12
+
+
+def test_store_allocates():
+    mem = MemoryHierarchy()
+    mem.store_access(0x3000_0000)
+    assert mem.load_latency(0x3000_0000) == 2  # write-allocate
+
+
+def test_fetch_hit_latency():
+    mem = MemoryHierarchy()
+    mem.fetch_latency(0x0040_0000)
+    assert mem.fetch_latency(0x0040_0000) == 2
+    # Same 32B line.
+    assert mem.fetch_latency(0x0040_001C) == 2
+
+
+def test_dl1_hit_latency_property():
+    assert MemoryHierarchy().dl1_hit_latency == 2
+
+
+def test_flush_resets_everything():
+    mem = MemoryHierarchy()
+    mem.load_latency(0x1000)
+    mem.fetch_latency(0x1000)
+    mem.flush()
+    assert mem.load_latency(0x1000) == 164
+
+
+def test_paper_geometry():
+    config = MemoryConfig()
+    assert config.il1.size == 32 * 1024 and config.il1.assoc == 2
+    assert config.dl1.size == 32 * 1024 and config.dl1.assoc == 4
+    assert config.dl1.line == 16
+    assert config.l2.size == 512 * 1024 and config.l2.line == 64
+    assert config.memory_latency == 150

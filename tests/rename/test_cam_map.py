@@ -1,0 +1,70 @@
+"""CAM map table tests — including the demonstration of Section 2.1's
+argument that PRI is not practical with CAM maps."""
+
+import pytest
+
+from repro.rename.cam_map import CamInlineError, CamMapTable
+
+
+@pytest.fixture
+def cam():
+    return CamMapTable(num_logical=8, num_physical=16)
+
+
+class TestMapping:
+    def test_allocate_and_lookup(self, cam):
+        cam.allocate(3, 7)
+        assert cam.lookup(3) == 7
+
+    def test_new_mapping_invalidates_old(self, cam):
+        cam.allocate(3, 7)
+        cam.allocate(3, 9)
+        assert cam.lookup(3) == 9
+        # Physical register 7 no longer answers for logical 3.
+        cam.invalidate(9)
+        assert cam.lookup(3) == -1
+
+    def test_unmapped_lookup(self, cam):
+        assert cam.lookup(5) == -1
+
+
+class TestCheckpointValidBits:
+    def test_snapshot_restores_only_valid_bits(self, cam):
+        cam.allocate(1, 4)
+        snap = cam.snapshot_valid_bits()
+        cam.allocate(1, 5)  # invalidates entry 4, validates 5
+        cam.restore_valid_bits(snap)
+        assert cam.lookup(1) == 4
+
+    def test_restore_size_check(self, cam):
+        with pytest.raises(ValueError):
+            cam.restore_valid_bits([True])
+
+
+class TestInliningLimitation:
+    """A CAM map encodes physical register numbers positionally, so a
+    given inlined value has exactly one slot: two logical registers
+    cannot hold the same inlined value simultaneously (Section 2.1)."""
+
+    def test_single_copy_works(self, cam):
+        assert cam.try_inline(2, value=0) == 0
+
+    def test_same_lreg_can_refresh(self, cam):
+        cam.try_inline(2, value=0)
+        assert cam.try_inline(2, value=0) == 0
+
+    def test_second_lreg_with_same_value_conflicts(self, cam):
+        cam.try_inline(2, value=0)
+        with pytest.raises(CamInlineError):
+            cam.try_inline(3, value=0)
+
+    def test_release_frees_the_slot(self, cam):
+        cam.try_inline(2, value=0)
+        cam.release_inlined(0)
+        assert cam.try_inline(3, value=0) == 0
+
+    def test_value_outside_name_space(self, cam):
+        with pytest.raises(CamInlineError):
+            cam.try_inline(2, value=16)
+        with pytest.raises(CamInlineError):
+            cam.try_inline(2, value=-1)

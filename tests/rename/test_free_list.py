@@ -1,0 +1,64 @@
+"""Free list tests, especially duplicate-deallocation tolerance
+(Section 3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rename.free_list import FreeList
+
+
+class TestAllocation:
+    def test_fifo_order(self):
+        fl = FreeList([3, 1, 2])
+        assert fl.allocate() == 3
+        assert fl.allocate() == 1
+        assert fl.allocate() == 2
+        assert fl.allocate() is None
+
+    def test_len_and_empty(self):
+        fl = FreeList(range(2))
+        assert len(fl) == 2 and not fl.empty
+        fl.allocate()
+        fl.allocate()
+        assert fl.empty
+
+    def test_membership(self):
+        fl = FreeList([5])
+        assert 5 in fl
+        fl.allocate()
+        assert 5 not in fl
+
+    def test_duplicate_initial_rejected(self):
+        with pytest.raises(ValueError):
+            FreeList([1, 1])
+
+
+class TestDuplicateDeallocation:
+    def test_release_then_duplicate(self):
+        fl = FreeList([0])
+        preg = fl.allocate()
+        assert fl.release(preg) is True
+        assert fl.release(preg) is False  # the PRI duplicate-free case
+        assert fl.duplicate_releases == 1
+        assert len(fl) == 1  # present once, not twice
+
+    def test_release_while_free(self):
+        fl = FreeList([0, 1])
+        assert fl.release(0) is False  # never allocated: already free
+        assert fl.duplicate_releases == 1
+
+    @given(st.lists(st.sampled_from(["alloc", "release0", "release1"]),
+                    max_size=60))
+    def test_never_contains_duplicates(self, script):
+        """Whatever sequence of operations runs, each register appears in
+        the free list at most once."""
+        fl = FreeList([0, 1])
+        for action in script:
+            if action == "alloc":
+                fl.allocate()
+            else:
+                fl.release(int(action[-1]))
+            regs = list(fl._queue)
+            assert len(regs) == len(set(regs))
+            assert set(regs) == fl._free

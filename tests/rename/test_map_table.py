@@ -1,0 +1,112 @@
+"""RAM map table tests, including the dual addressing mode and the
+Figure 7 WAW check that guards the late (retire-stage) update."""
+
+import pytest
+
+from repro.isa.values import MAX_UINT64
+from repro.rename.map_table import EntryMode, MapEntry, RenameMapTable
+
+
+@pytest.fixture
+def table():
+    return RenameMapTable(num_logical=8, value_bits=7)
+
+
+class TestPointerMode:
+    def test_set_and_lookup(self, table):
+        table.set_pointer(3, 41)
+        entry = table.lookup(3)
+        assert not entry.is_immediate
+        assert entry.value == 41
+        assert table.pointer_of(3) == 41
+
+    def test_overwrite(self, table):
+        table.set_pointer(3, 41)
+        table.set_pointer(3, 42)
+        assert table.pointer_of(3) == 42
+
+    def test_pointers_listing(self, table):
+        table.set_pointer(0, 10)
+        table.set_pointer(1, 11)
+        table.set_immediate(2, 5)
+        assert sorted(table.pointers()) == [10, 11]
+
+
+class TestImmediateMode:
+    def test_set_immediate(self, table):
+        table.set_immediate(2, -5)
+        entry = table.lookup(2)
+        assert entry.is_immediate
+        assert entry.value == -5
+        assert table.pointer_of(2) == -1
+
+    def test_width_check(self, table):
+        assert table.value_fits(63)       # 7 bits
+        assert table.value_fits(-64)
+        assert not table.value_fits(64)   # needs 8 bits
+        assert not table.value_fits(-65)
+        with pytest.raises(ValueError):
+            table.set_immediate(2, 1 << 20)
+
+    def test_fp_mode_only_all_zeros_or_ones(self):
+        fp = RenameMapTable(8, value_bits=1, fp_mode=True)
+        assert fp.value_fits(0)
+        assert fp.value_fits(MAX_UINT64)
+        assert not fp.value_fits(1)
+        assert not fp.value_fits(MAX_UINT64 - 1)
+
+
+class TestLateUpdateWaw:
+    """Figure 7: the narrow value is copied into the entry only if the
+    entry still points at the producer's physical register."""
+
+    def test_inline_succeeds_when_still_mapped(self, table):
+        table.set_pointer(4, 17)
+        assert table.try_inline(4, 17, 33)
+        entry = table.lookup(4)
+        assert entry.is_immediate and entry.value == 33
+
+    def test_inline_dropped_after_remap(self, table):
+        table.set_pointer(4, 17)
+        table.set_pointer(4, 18)  # a younger writer renamed first
+        assert not table.try_inline(4, 17, 33)
+        assert table.pointer_of(4) == 18
+
+    def test_inline_dropped_when_already_immediate(self, table):
+        table.set_pointer(4, 17)
+        assert table.try_inline(4, 17, 33)
+        # A second producer's stale update must not clobber the entry.
+        assert not table.try_inline(4, 17, 99)
+        assert table.lookup(4).value == 33
+
+    def test_inline_dropped_for_wide_value(self, table):
+        table.set_pointer(4, 17)
+        assert not table.try_inline(4, 17, 1 << 30)
+        assert table.pointer_of(4) == 17
+
+
+class TestCheckpointing:
+    def test_snapshot_restore_roundtrip(self, table):
+        table.set_pointer(0, 10)
+        table.set_immediate(1, 7)
+        snap = table.snapshot()
+        table.set_pointer(0, 20)
+        table.set_pointer(1, 21)
+        table.restore(snap)
+        assert table.pointer_of(0) == 10
+        assert table.lookup(1) == MapEntry(EntryMode.IMMEDIATE, 7)
+
+    def test_snapshot_is_deep(self, table):
+        table.set_pointer(0, 10)
+        snap = table.snapshot()
+        snap[0].value = 99
+        assert table.pointer_of(0) == 10
+
+    def test_restore_size_check(self, table):
+        with pytest.raises(ValueError):
+            table.restore([MapEntry(EntryMode.POINTER, 1)])
+
+
+def test_rejects_empty_table():
+    with pytest.raises(ValueError):
+        RenameMapTable(0, 7)

@@ -1,0 +1,68 @@
+"""Reference-count table tests."""
+
+import pytest
+
+from repro.rename.refcount import RefCountTable
+
+
+@pytest.fixture
+def rc():
+    return RefCountTable(8)
+
+
+class TestConsumers:
+    def test_add_drop(self, rc):
+        rc.add_consumer(3)
+        rc.add_consumer(3)
+        assert rc.consumers(3) == 2
+        rc.drop_consumer(3)
+        assert rc.consumers(3) == 1
+
+    def test_underflow_raises(self, rc):
+        with pytest.raises(RuntimeError):
+            rc.drop_consumer(0)
+
+
+class TestCheckpoints:
+    def test_resolve_scoped(self, rc):
+        rc.add_checkpoint_ref(2)
+        assert rc.checkpoint_refs(2) == 1
+        rc.drop_checkpoint_ref(2)
+        assert rc.checkpoint_refs(2) == 0
+        with pytest.raises(RuntimeError):
+            rc.drop_checkpoint_ref(2)
+
+    def test_commit_scoped_er(self, rc):
+        rc.add_er_checkpoint_ref(2)
+        assert rc.er_checkpoint_refs(2) == 1
+        rc.drop_er_checkpoint_ref(2)
+        with pytest.raises(RuntimeError):
+            rc.drop_er_checkpoint_ref(2)
+
+    def test_scopes_independent(self, rc):
+        rc.add_checkpoint_ref(1)
+        rc.add_er_checkpoint_ref(1)
+        rc.drop_checkpoint_ref(1)
+        assert rc.checkpoint_refs(1) == 0
+        assert rc.er_checkpoint_refs(1) == 1
+
+
+class TestQueries:
+    def test_pinned(self, rc):
+        assert not rc.pinned(4)
+        rc.add_consumer(4)
+        assert rc.pinned(4)
+        rc.drop_consumer(4)
+        rc.add_checkpoint_ref(4)
+        assert rc.pinned(4)
+        assert not rc.pinned(4, include_checkpoints=False)
+
+    def test_assert_clean(self, rc):
+        rc.assert_clean()
+        rc.add_consumer(1)
+        with pytest.raises(AssertionError):
+            rc.assert_clean()
+        rc.drop_consumer(1)
+        rc.add_er_checkpoint_ref(2)
+        with pytest.raises(AssertionError):
+            rc.assert_clean()

@@ -1,0 +1,88 @@
+"""Machine configuration tests (Table 1 fidelity + the builder API)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    EFFECTIVELY_INFINITE_REGS,
+    PRF_SWEEP_SIZES,
+    CheckpointPolicy,
+    MachineConfig,
+    PriConfig,
+    WarPolicy,
+    eight_wide,
+    four_wide,
+)
+
+
+class TestTable1Fidelity:
+    def test_four_wide(self):
+        cfg = four_wide()
+        assert cfg.width == 4
+        assert cfg.rob_entries == 512
+        assert cfg.lsq_entries == 256
+        assert cfg.scheduler_entries == 32
+        assert cfg.int_phys_regs == 64 and cfg.fp_phys_regs == 64
+        assert cfg.pri.int_width_bits == 7
+        assert not cfg.pri.enabled and not cfg.early_release
+
+    def test_eight_wide(self):
+        cfg = eight_wide()
+        assert cfg.width == 8
+        assert cfg.scheduler_entries == 512  # matches the ROB: "infinite"
+        assert cfg.pri.int_width_bits == 10
+
+    def test_branch_config(self):
+        b = four_wide().branch
+        assert b.bimodal_entries == 4096
+        assert b.gshare_entries == 4096
+        assert b.selector_entries == 4096
+        assert b.btb_entries == 1024 and b.btb_assoc == 4
+        assert b.ras_entries == 16
+        assert b.min_mispredict_penalty == 11
+
+    def test_prf_sweep_matches_figure9(self):
+        assert PRF_SWEEP_SIZES == (40, 48, 56, 64, 72, 80, 96)
+
+
+class TestBuilders:
+    def test_with_pri_defaults(self):
+        cfg = four_wide().with_pri()
+        assert cfg.pri.enabled
+        assert cfg.pri.war_policy == WarPolicy.REFCOUNT
+        assert cfg.pri.checkpoint_policy == CheckpointPolicy.CKPTCOUNT
+        # The original is untouched (frozen dataclasses).
+        assert not four_wide().pri.enabled
+
+    def test_with_pri_overrides(self):
+        cfg = four_wide().with_pri(
+            WarPolicy.IDEAL, CheckpointPolicy.LAZY, int_width_bits=12
+        )
+        assert cfg.pri.war_policy == WarPolicy.IDEAL
+        assert cfg.pri.checkpoint_policy == CheckpointPolicy.LAZY
+        assert cfg.pri.int_width_bits == 12
+
+    def test_with_early_release(self):
+        cfg = four_wide().with_early_release()
+        assert cfg.early_release
+        assert not cfg.pri.enabled
+
+    def test_combined(self):
+        cfg = four_wide().with_pri().with_early_release()
+        assert cfg.pri.enabled and cfg.early_release
+
+    def test_with_phys_regs(self):
+        cfg = four_wide().with_phys_regs(96)
+        assert cfg.int_phys_regs == 96 and cfg.fp_phys_regs == 96
+        cfg = four_wide().with_phys_regs(80, 48)
+        assert cfg.int_phys_regs == 80 and cfg.fp_phys_regs == 48
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            four_wide().width = 16
+
+    def test_infinite_is_big_enough(self):
+        # 512-entry ROB can hold at most 512 in-flight destinations plus
+        # the architected state; "infinite" must exceed that.
+        assert EFFECTIVELY_INFINITE_REGS > 512 + 32

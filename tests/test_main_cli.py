@@ -1,0 +1,44 @@
+"""Top-level CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip" in out and "ammp" in out
+
+
+def test_requires_benchmark():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_basic_run(capsys):
+    code = main(["gzip", "--length", "300", "--warmup", "600"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ipc=" in out
+    assert "register lifetime" in out
+
+
+def test_pri_run_reports_inlining(capsys):
+    code = main(["gzip", "--scheme", "PRI-refcount+ckptcount",
+                 "--length", "400", "--warmup", "800"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PRI:" in out and "inlined" in out
+
+
+def test_regs_override(capsys):
+    code = main(["gzip", "--length", "200", "--warmup", "400",
+                 "--regs", "96"])
+    assert code == 0
+    assert "96 INT" in capsys.readouterr().out
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(SystemExit):
+        main(["gzip", "--scheme", "magic"])

@@ -1,0 +1,28 @@
+"""Every benchmark profile must generate and simulate cleanly.
+
+A thin but broad net: each of the 27 profiles exercises its own mix of
+generator features (pointer chasing, FP traffic, calls, loop branches,
+engineered miss classes), and the machine's dataflow checker validates
+the whole path.
+"""
+
+import pytest
+
+from repro.config import four_wide
+from repro.core.machine import Machine, simulate
+from repro.workloads import ALL_BENCHMARKS, generate_trace
+
+
+@pytest.mark.parametrize("profile", ALL_BENCHMARKS, ids=lambda p: p.name)
+def test_profile_generates_and_simulates(profile):
+    trace = generate_trace(profile.name, 400, seed=13, warmup=800)
+    stats = simulate(four_wide().with_pri().with_early_release(), trace)
+    assert stats.committed == 400
+    assert stats.ipc > 0
+
+
+def test_machine_is_single_run(gzip_trace):
+    m = Machine(four_wide())
+    m.run(gzip_trace, max_insts=50)
+    with pytest.raises(Exception):
+        m.run(gzip_trace)

@@ -1,0 +1,93 @@
+"""Benchmark profile registry tests."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    SPEC_FP,
+    SPEC_INT,
+    BenchmarkProfile,
+    get_profile,
+    int_anchors,
+)
+
+
+def test_suite_sizes_match_table2():
+    assert len(SPEC_INT) == 13  # incl. both vpr inputs, as in the paper
+    assert len(SPEC_FP) == 14
+    assert len(ALL_BENCHMARKS) == 27
+
+
+def test_expected_names_present():
+    names = {p.name for p in ALL_BENCHMARKS}
+    for required in ("gzip", "gcc", "mcf", "vpr", "vpr_ref", "ammp", "swim",
+                     "wupwise", "crafty", "eon"):
+        assert required in names
+
+
+def test_suites_labelled():
+    assert all(p.suite == "int" for p in SPEC_INT)
+    assert all(p.suite == "fp" for p in SPEC_FP)
+
+
+def test_get_profile():
+    assert get_profile("gzip").name == "gzip"
+    with pytest.raises(KeyError):
+        get_profile("doom3")
+
+
+def test_mix_is_a_distribution():
+    for p in ALL_BENCHMARKS:
+        assert 0 < p.alu_frac < 1
+        total = (p.alu_frac + p.load_frac + p.store_frac + p.branch_frac
+                 + p.mul_frac + p.div_frac + p.fp_add_frac + p.fp_mul_frac
+                 + p.fp_div_frac)
+        assert total == pytest.approx(1.0)
+
+
+def test_memory_fractions_sane():
+    for p in ALL_BENCHMARKS:
+        assert 0 <= p.l2_access_frac <= 1
+        assert 0 <= p.mem_access_frac <= 1
+        assert p.dl1_hit_frac >= 0
+
+
+def test_paper_ipcs_recorded():
+    gzip = get_profile("gzip")
+    assert gzip.paper_ipc_4w == pytest.approx(1.51)
+    assert gzip.paper_ipc_8w == pytest.approx(1.54)
+    ammp = get_profile("ammp")
+    assert ammp.paper_ipc_4w == pytest.approx(0.06)
+
+
+def test_width_anchor_extremes_match_paper_range():
+    """Figure 2: 23%-82% of integer operands fit in 10 bits; gzip is the
+    narrow extreme and crafty the wide extreme."""
+    gzip = get_profile("gzip").int_widths.fraction_at_most(10)
+    crafty = get_profile("crafty").int_widths.fraction_at_most(10)
+    assert gzip >= 0.75
+    assert crafty <= 0.30
+    for p in ALL_BENCHMARKS:
+        f10 = p.int_widths.fraction_at_most(10)
+        assert 0.15 <= f10 <= 0.85
+
+
+def test_int_anchors_shape():
+    a = int_anchors(0.5)
+    assert a.fraction_at_most(10) == pytest.approx(0.5)
+    assert a.fraction_at_most(7) == pytest.approx(0.425)
+    assert a.fraction_at_most(64) == 1.0
+
+
+def test_profiles_are_frozen():
+    with pytest.raises(Exception):
+        get_profile("gzip").load_frac = 0.9
+
+
+def test_mcf_is_memory_bound_and_ammp_serial():
+    mcf = get_profile("mcf")
+    assert mcf.mem_access_frac >= 0.05
+    assert mcf.pointer_chase_frac > 0.2
+    ammp = get_profile("ammp")
+    assert ammp.pointer_chase_frac > 0.8
+    assert ammp.mem_access_frac >= 0.5

@@ -1,0 +1,88 @@
+"""Trace save/load round-trip tests."""
+
+import pytest
+
+from repro.config import four_wide
+from repro.core.machine import simulate
+from repro.workloads import (
+    TraceBuilder,
+    generate_trace,
+    load_trace,
+    save_trace,
+)
+
+
+def _ops_equal(a, b):
+    return (
+        a.op == b.op and a.pc == b.pc and a.dest == b.dest
+        and a.dest_class == b.dest_class and a.result == b.result
+        and a.mem_addr == b.mem_addr and a.taken == b.taken
+        and a.target == b.target and a.is_indirect == b.is_indirect
+        and len(a.sources) == len(b.sources)
+        and all(
+            x.reg_class == y.reg_class and x.index == y.index
+            and x.expected_value == y.expected_value
+            for x, y in zip(a.sources, b.sources)
+        )
+    )
+
+
+class TestRoundTrip:
+    def test_generated_trace(self, tmp_path):
+        trace = generate_trace("gzip", 300, seed=9, warmup=150)
+        path = str(tmp_path / "gzip.trace")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "gzip"
+        assert loaded.seed == 9
+        assert len(loaded) == 300
+        assert len(loaded.warmup_ops) == 150
+        assert loaded.initial_int == trace.initial_int
+        assert loaded.initial_fp == trace.initial_fp
+        assert all(_ops_equal(a, b) for a, b in zip(trace, loaded))
+        assert all(
+            _ops_equal(a, b)
+            for a, b in zip(trace.warmup_ops, loaded.warmup_ops)
+        )
+
+    def test_simulation_identical(self, tmp_path):
+        trace = generate_trace("mcf", 400, seed=9, warmup=300)
+        path = str(tmp_path / "mcf.trace")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = simulate(four_wide().with_pri(), trace)
+        b = simulate(four_wide().with_pri(), loaded)
+        assert (a.cycles, a.committed, a.inlined) == (b.cycles, b.committed,
+                                                      b.inlined)
+
+    def test_negative_values_survive(self, tmp_path):
+        b = TraceBuilder()
+        b.alu(dest=1, value=-7)
+        b.alu(dest=2, value=-(1 << 62), srcs=[1])
+        path = str(tmp_path / "neg.trace")
+        save_trace(b.build("neg"), path)
+        loaded = load_trace(path)
+        assert loaded[0].result == -7
+        assert loaded[1].sources[0].expected_value == -7
+        assert loaded[1].result == -(1 << 62)
+
+    def test_fp_trace(self, tmp_path):
+        trace = generate_trace("swim", 200, seed=9, warmup=0)
+        path = str(tmp_path / "swim.trace")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert all(_ops_equal(a, b) for a, b in zip(trace, loaded))
+
+
+class TestErrors:
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("hello world\n")
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+    def test_rejects_corrupt_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("trace-v1 x 1 0 0\nX 0\nF 0\n")
+        with pytest.raises(ValueError):
+            load_trace(str(path))

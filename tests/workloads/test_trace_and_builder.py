@@ -1,0 +1,96 @@
+"""Trace container and TraceBuilder tests."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass, RegClass
+from repro.workloads import Trace, TraceBuilder
+
+
+class TestTrace:
+    def test_basics(self):
+        b = TraceBuilder()
+        b.alu(dest=1, value=5)
+        b.alu(dest=2, value=6, srcs=[1])
+        trace = b.build("t")
+        assert len(trace) == 2
+        assert trace[0].dest == 1
+        assert list(trace)[1].sources[0].expected_value == 5
+
+    def test_stats(self):
+        b = TraceBuilder()
+        b.alu(dest=1, value=0)
+        b.load(dest=2, addr=0x1000, value=3)
+        b.store(data=2, addr=0x1008)
+        b.branch(taken=True)
+        b.branch(taken=False)
+        stats = b.build().stats()
+        assert stats.length == 5
+        assert stats.loads == 1 and stats.stores == 1
+        assert stats.branches == 2 and stats.taken_branches == 1
+        assert stats.taken_rate == pytest.approx(0.5)
+        assert stats.reg_writers == 2
+
+    def test_default_initial_state(self):
+        trace = Trace("x", [])
+        assert trace.initial_int == [0] * 32
+        assert trace.warmup_ops == []
+
+
+class TestBuilder:
+    def test_tracks_values(self):
+        b = TraceBuilder()
+        b.alu(dest=3, value=7)
+        op = b.alu(dest=4, value=9, srcs=[3, 3])
+        assert [s.expected_value for s in op.sources] == [7, 7]
+
+    def test_initial_values(self):
+        b = TraceBuilder(initial_int=[11] * 32)
+        op = b.alu(dest=1, value=0, srcs=[5])
+        assert op.sources[0].expected_value == 11
+        trace = b.build()
+        assert trace.initial_int[5] == 11
+
+    def test_fp_ops(self):
+        b = TraceBuilder()
+        b.fp(dest=1, value=0)
+        op = b.fp(dest=2, value=5, srcs=[1, 1])
+        assert op.dest_class == RegClass.FP
+        assert all(s.reg_class == RegClass.FP for s in op.sources)
+
+    def test_branch_redirects_pc(self):
+        b = TraceBuilder()
+        br = b.branch(taken=True, target=0x400800)
+        nxt = b.alu(dest=1, value=0)
+        assert nxt.pc == 0x400800
+
+    def test_untaken_branch_falls_through(self):
+        b = TraceBuilder()
+        br = b.branch(taken=False, target=0x400800)
+        nxt = b.alu(dest=1, value=0)
+        assert nxt.pc == br.pc + 4
+
+    def test_call_and_ret(self):
+        b = TraceBuilder()
+        call = b.call(0x400900)
+        assert call.op == OpClass.CALL and call.taken
+        body = b.alu(dest=1, value=0)
+        assert body.pc == 0x400900
+        ret = b.ret(call.pc + 4)
+        assert ret.op == OpClass.RETURN and ret.is_indirect
+
+    def test_store_sources(self):
+        b = TraceBuilder()
+        b.alu(dest=1, value=3)
+        b.alu(dest=2, value=0x1000)
+        op = b.store(data=1, base=2, addr=0x1000)
+        assert [s.expected_value for s in op.sources] == [3, 0x1000]
+
+    def test_ops_validated(self):
+        b = TraceBuilder()
+        with pytest.raises(ValueError):
+            b.alu(dest=1, value=0, srcs=[1, 2, 3])
+
+    def test_nops(self):
+        b = TraceBuilder()
+        b.nops(5)
+        assert len(b.ops) == 5
