@@ -16,7 +16,7 @@ import argparse
 import sys
 import time
 
-from repro.core.machine import simulate
+from repro.core.machine import SimulationError, simulate
 from repro.experiments.runner import SCHEMES, width_config
 from repro.workloads import ALL_BENCHMARKS, generate_trace
 
@@ -36,6 +36,13 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--regs", type=int, default=None,
                         help="override the physical register count per class")
+    parser.add_argument("--audit", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="attach the machine invariant auditor "
+                             "(repro.audit): bookkeeping corruption aborts "
+                             "the run with a structured diagnostic")
+    parser.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                        help="abort if the run needs more than N cycles")
     parser.add_argument("--list", action="store_true",
                         help="list benchmark profiles and exit")
     args = parser.parse_args(argv)
@@ -50,14 +57,29 @@ def main(argv=None) -> int:
     config = SCHEMES[args.scheme](width_config(args.width))
     if args.regs is not None:
         config = config.with_phys_regs(args.regs)
+    if args.audit:
+        config = config.with_audit()
 
     print(f"generating {args.benchmark!r}: {args.length} timed + "
           f"{args.warmup} warmup instructions (seed {args.seed})")
     trace = generate_trace(args.benchmark, args.length, seed=args.seed,
                            warmup=args.warmup)
     start = time.time()
-    stats = simulate(config, trace)
+    try:
+        stats = simulate(config, trace, max_cycles=args.max_cycles)
+    except SimulationError as err:
+        print(f"simulation failed: {err}", file=sys.stderr)
+        diagnostic = getattr(err, "diagnostic", None)
+        if diagnostic:
+            for key, value in diagnostic.items():
+                print(f"  {key}: {value}", file=sys.stderr)
+        return 1
     elapsed = time.time() - start
+    if args.max_cycles is not None and stats.committed < len(trace):
+        print(f"simulation failed: cycle watchdog: committed only "
+              f"{stats.committed}/{len(trace)} instructions in "
+              f"{args.max_cycles} cycles", file=sys.stderr)
+        return 1
 
     print(f"scheme {args.scheme!r} on the {config.name} machine "
           f"({config.int_phys_regs} INT + {config.fp_phys_regs} FP regs)")
@@ -76,6 +98,8 @@ def main(argv=None) -> int:
     if stats.er_early_frees:
         print(f"ER: {stats.er_early_frees} early frees, "
               f"{stats.duplicate_deallocs} duplicate deallocations absorbed")
+    if stats.audits:
+        print(f"audit: {stats.audits} invariant audits, all clean")
     print(f"[{elapsed:.1f}s, {stats.cycles / max(elapsed, 1e-9):,.0f} cycles/s]")
     return 0
 

@@ -1,0 +1,33 @@
+"""Self-auditing machine invariants and fault injection.
+
+The reclamation schemes in this reproduction (PRI's late map update, ER's
+counter-and-flag protocol, checkpoint reference counting) are exactly the
+kind of bookkeeping where a subtle bug — the paper's Figure 6 WAR
+violation is the canonical example — silently skews results rather than
+crashing.  :mod:`repro.core.machine` already verifies *dataflow* (every
+operand delivered to execution is checked against the trace); this
+package verifies the *bookkeeping itself*:
+
+* :class:`InvariantAuditor` re-derives free-list conservation, consumer
+  and checkpoint reference counts, and map/checkpoint liveness from
+  first principles every N cycles, raising :class:`AuditError` (a
+  :class:`~repro.core.machine.SimulationError`) with a structured
+  diagnostic on the first divergence;
+* :mod:`repro.audit.inject` deliberately corrupts free-list, refcount,
+  and checkpoint state mid-run to prove each invariant actually fires.
+
+Enable via ``MachineConfig.with_audit()`` or ``--audit`` on either CLI.
+"""
+
+from repro.audit.auditor import AuditError, InvariantAuditor, scheme_label
+from repro.audit.inject import FAULTS, Fault, FaultNotCaught, run_with_fault
+
+__all__ = [
+    "AuditError",
+    "InvariantAuditor",
+    "scheme_label",
+    "FAULTS",
+    "Fault",
+    "FaultNotCaught",
+    "run_with_fault",
+]

@@ -1,0 +1,410 @@
+"""Configurable invariant auditor for :class:`repro.core.machine.Machine`.
+
+Every check re-derives a piece of reclamation bookkeeping from an
+independent source of truth and compares it against the machine's live
+structures:
+
+===================  =========================================================
+``free-list``        the FIFO queue, its membership set, and the per-register
+                     state array agree register by register
+``conservation``     every allocated physical register is reachable from a
+                     root — the current map, an in-flight ROB entry (dest,
+                     previous mapping, or counted source), a live checkpoint,
+                     or a pending inline — so ``free + accounted == total``
+                     per class; an unreachable allocation is a leak
+``refcount``         consumer / checkpoint / ER-checkpoint counts equal the
+                     counts recomputed from the ROB and the checkpoint stack
+``war-integrity``    every counted source record still names a live
+                     allocation generation (the Figure 6 hazard, caught
+                     before a consumer ever reads the stale register)
+``map``              every current POINTER map entry names an allocated
+                     register owned by that logical register
+``checkpoint``       every POINTER entry in a live (stacked) checkpoint names
+                     an allocated register at its snapshot-time generation
+``prf-leak``         the ``conservation`` check at end of run — anything
+                     unaccounted once the machine drains has leaked
+===================  =========================================================
+
+A failed check raises :class:`AuditError` carrying a structured
+diagnostic: the check name, cycle, scheme label, offending register, and
+the in-flight window (oldest/youngest ROB sequence numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import AuditConfig, MachineConfig, WarPolicy
+from repro.core.machine import SimulationError, _VID_FLAG
+from repro.core.regfile import RegState
+from repro.isa.opcodes import RegClass
+
+_CLASS_NAMES = {RegClass.INT: "int", RegClass.FP: "fp"}
+
+
+def scheme_label(config: MachineConfig) -> str:
+    """Short reclamation-scheme label for diagnostics (mirrors the
+    experiment registry's naming)."""
+    parts = []
+    if config.pri.enabled:
+        parts.append(
+            f"PRI-{config.pri.war_policy.value}"
+            f"+{config.pri.checkpoint_policy.value}"
+        )
+    if config.early_release:
+        parts.append("ER")
+    if config.virtual_physical:
+        parts.append("VP")
+    return "+".join(parts) if parts else "base"
+
+
+class AuditError(SimulationError):
+    """An invariant audit failed.  ``diagnostic`` holds the structured
+    fields; the message renders them for humans."""
+
+    def __init__(
+        self,
+        check: str,
+        reason: str,
+        *,
+        cycle: int,
+        scheme: str,
+        reg_class: Optional[str] = None,
+        preg: Optional[int] = None,
+        inflight: Optional[tuple] = None,
+        details: Optional[Dict] = None,
+    ) -> None:
+        self.diagnostic = {
+            "check": check,
+            "reason": reason,
+            "cycle": cycle,
+            "scheme": scheme,
+            "reg_class": reg_class,
+            "preg": preg,
+            "inflight": inflight,
+            "details": details or {},
+        }
+        where = f"cycle {cycle}, scheme {scheme}"
+        if reg_class is not None and preg is not None:
+            where += f", {reg_class} p{preg}"
+        if inflight is not None:
+            oldest, youngest, count = inflight
+            where += f", inflight #{oldest}..#{youngest} ({count} ops)"
+        super().__init__(f"audit[{check}] {reason} ({where})")
+
+
+class InvariantAuditor:
+    """Stateful checker attached to one machine run.
+
+    :meth:`maybe_check` is called by the machine at the end of every
+    cycle and runs the full audit when due (every ``interval`` cycles,
+    and — with ``check_commits`` — on every cycle that commits);
+    :meth:`check` can also be invoked directly.
+    """
+
+    def __init__(self, config: AuditConfig) -> None:
+        self.cfg = config
+        self.audits_run = 0
+        self._last_committed = 0
+
+    # ------------------------------------------------------------ driving
+
+    def maybe_check(self, m) -> None:
+        # interval <= 0 disables periodic audits (commit-boundary and
+        # final audits may still run).
+        due = self.cfg.interval > 0 and m.now % self.cfg.interval == 0
+        if self.cfg.check_commits and m.stats.committed != self._last_committed:
+            due = True
+        self._last_committed = m.stats.committed
+        if due:
+            self.check(m)
+
+    def check(self, m, final: bool = False) -> None:
+        """Run every invariant; raise :class:`AuditError` on the first
+        divergence.  ``final`` marks the end-of-run (PRF leak) audit."""
+        self.audits_run += 1
+        m.stats.audits += 1
+        self._scheme = scheme_label(m.cfg)
+        for cls in (RegClass.INT, RegClass.FP):
+            self._check_free_list(m, cls)
+            self._check_maps(m, cls)
+            if m.cfg.virtual_physical:
+                self._check_vp_bindings(m, cls, final)
+            else:
+                self._check_checkpoints(m, cls)
+                self._check_conservation(m, cls, final)
+                self._check_refcounts(m, cls)
+                self._check_war_integrity(m, cls)
+
+    # ------------------------------------------------------------ helpers
+
+    def _fail(self, m, check, reason, cls=None, preg=None, details=None):
+        raise AuditError(
+            check,
+            reason,
+            cycle=m.now,
+            scheme=self._scheme,
+            reg_class=_CLASS_NAMES.get(cls) if cls is not None else None,
+            preg=preg,
+            inflight=m.inflight_window(),
+            details=details,
+        )
+
+    @staticmethod
+    def _live_checkpoints(m):
+        """Stacked (resolve-pinning) checkpoints."""
+        return m.ckpts.checkpoints()
+
+    # ------------------------------------------------------------- checks
+
+    def _check_free_list(self, m, cls) -> None:
+        try:
+            m.rf[cls].assert_consistent()
+        except AssertionError as exc:
+            self._fail(m, "free-list", str(exc), cls)
+
+    def _check_conservation(self, m, cls, final) -> None:
+        rf = m.rf[cls]
+        roots: Dict[int, str] = {}
+
+        def add(preg: int, label: str) -> None:
+            if 0 <= preg < rf.num_regs and preg not in roots:
+                roots[preg] = label
+
+        for preg in m.maps[cls].pointers():
+            if preg < _VID_FLAG:
+                add(preg, "map")
+        for instr in m.rob:
+            op_cls = instr.op.dest_class if instr.op.dest is not None else None
+            if op_cls == cls:
+                if instr.dest_preg >= 0 and rf.gen_matches(
+                    instr.dest_preg, instr.dest_gen
+                ):
+                    add(instr.dest_preg, "inflight-dest")
+                if instr.prev_preg >= 0 and rf.gen_matches(
+                    instr.prev_preg, instr.prev_gen
+                ):
+                    add(instr.prev_preg, "inflight-prev")
+            for rec in instr.sources:
+                if rec.counted and rec.reg_class == cls and rec.preg < _VID_FLAG:
+                    add(rec.preg, "inflight-src")
+        held = {id(c): c for c in self._live_checkpoints(m)}
+        for ckpt in m.ckpts.er_pending():
+            held.setdefault(id(ckpt), ckpt)
+        for ckpt in held.values():
+            for preg in ckpt.pointer_entries(cls):
+                if preg < _VID_FLAG:
+                    add(preg, "checkpoint")
+        for preg in range(rf.num_regs):
+            if rf.inline_pending[preg]:
+                add(preg, "inline-pending")
+
+        leaked = [p for p in rf.allocated_pregs() if p not in roots]
+        if leaked:
+            check = "prf-leak" if final else "conservation"
+            free = len(rf.free_list)
+            self._fail(
+                m,
+                check,
+                f"{len(leaked)} allocated register(s) unreachable from any "
+                f"root (map, inflight, checkpoint, inline): p{leaked[0]}",
+                cls,
+                leaked[0],
+                details={
+                    "leaked": leaked[:16],
+                    "free": free,
+                    "accounted": len(roots),
+                    "total": rf.num_regs,
+                },
+            )
+
+    def _check_refcounts(self, m, cls) -> None:
+        rf = m.rf[cls]
+        n = rf.num_regs
+        exp_consumer = [0] * n
+        exp_ckpt = [0] * n
+        exp_er = [0] * n
+        for instr in m.rob:
+            for rec in instr.sources:
+                if rec.counted and rec.reg_class == cls and 0 <= rec.preg < n:
+                    exp_consumer[rec.preg] += 1
+        if m.ckpts.track_refs:
+            for ckpt in self._live_checkpoints(m):
+                if not ckpt.resolve_released:
+                    for preg in ckpt.pointer_entries(cls):
+                        if preg < n:
+                            exp_ckpt[preg] += 1
+            if m.ckpts.track_er_refs:
+                for ckpt in m.ckpts.er_pending():
+                    for preg in ckpt.pointer_entries(cls):
+                        if preg < n:
+                            exp_er[preg] += 1
+        consumer, ckpt_refs, er_refs = m.refcounts[cls].snapshot()
+        for preg in range(n):
+            triple = (consumer[preg], ckpt_refs[preg], er_refs[preg])
+            expected = (exp_consumer[preg], exp_ckpt[preg], exp_er[preg])
+            if triple != expected:
+                kind = (
+                    "consumer"
+                    if triple[0] != expected[0]
+                    else ("checkpoint" if triple[1] != expected[1] else "er")
+                )
+                self._fail(
+                    m,
+                    "refcount",
+                    f"{kind} refcount imbalance: table says "
+                    f"{triple} but recomputation from the ROB and "
+                    f"checkpoints gives {expected} "
+                    f"(consumer, checkpoint, er)",
+                    cls,
+                    preg,
+                    details={"table": triple, "recomputed": expected},
+                )
+
+    def _check_war_integrity(self, m, cls) -> None:
+        if m.cfg.pri.enabled and m.cfg.pri.war_policy == WarPolicy.REPLAY:
+            return  # REPLAY legally lets consumers outlive the allocation
+        rf = m.rf[cls]
+        for instr in m.rob:
+            for rec in instr.sources:
+                if not rec.counted or rec.reg_class != cls:
+                    continue
+                preg = rec.preg
+                if not (0 <= preg < rf.num_regs):
+                    continue
+                if rf.state[preg] == RegState.FREE:
+                    self._fail(
+                        m,
+                        "war-integrity",
+                        f"p{preg} was reclaimed while consumer #{instr.seq} "
+                        f"still holds a counted reference (Figure 6 WAR "
+                        f"hazard)",
+                        cls,
+                        preg,
+                        details={"consumer_seq": instr.seq},
+                    )
+                if rf.gen[preg] != rec.gen:
+                    self._fail(
+                        m,
+                        "war-integrity",
+                        f"p{preg} was reallocated (gen {rf.gen[preg]} != "
+                        f"snapshot gen {rec.gen}) under consumer "
+                        f"#{instr.seq}",
+                        cls,
+                        preg,
+                        details={"consumer_seq": instr.seq},
+                    )
+
+    def _check_maps(self, m, cls) -> None:
+        rf = m.rf[cls]
+        table = m.maps[cls]
+        for lreg in range(table.num_logical):
+            preg = table.pointer_of(lreg)
+            if preg < 0:
+                continue
+            if preg >= _VID_FLAG:
+                if preg - _VID_FLAG not in m._vregs:
+                    self._fail(
+                        m,
+                        "map",
+                        f"logical r{lreg} maps to dead virtual tag "
+                        f"v{preg - _VID_FLAG}",
+                        cls,
+                    )
+                continue
+            if m.cfg.virtual_physical:
+                self._fail(
+                    m,
+                    "map",
+                    f"logical r{lreg} maps to raw p{preg} in "
+                    f"virtual-physical mode",
+                    cls,
+                    preg,
+                )
+            if preg >= rf.num_regs or rf.state[preg] == RegState.FREE:
+                self._fail(
+                    m,
+                    "map",
+                    f"logical r{lreg} maps to {'out-of-range' if preg >= rf.num_regs else 'free'} "
+                    f"register p{preg}",
+                    cls,
+                    preg if preg < rf.num_regs else None,
+                    details={"lreg": lreg},
+                )
+            elif rf.lreg[preg] != lreg:
+                self._fail(
+                    m,
+                    "map",
+                    f"logical r{lreg} maps to p{preg}, but p{preg} was "
+                    f"allocated for r{rf.lreg[preg]}",
+                    cls,
+                    preg,
+                    details={"lreg": lreg, "owner_lreg": rf.lreg[preg]},
+                )
+
+    def _check_checkpoints(self, m, cls) -> None:
+        rf = m.rf[cls]
+        for ckpt in self._live_checkpoints(m):
+            for lreg, preg, gen in ckpt.pointer_items(cls):
+                if preg >= _VID_FLAG:
+                    continue
+                if preg >= rf.num_regs or rf.state[preg] == RegState.FREE:
+                    self._fail(
+                        m,
+                        "checkpoint",
+                        f"checkpoint for branch #{ckpt.branch_seq} holds a "
+                        f"stale pointer: r{lreg} -> p{preg} which is "
+                        f"{'out of range' if preg >= rf.num_regs else 'free'}",
+                        cls,
+                        preg if preg < rf.num_regs else None,
+                        details={"branch_seq": ckpt.branch_seq, "lreg": lreg},
+                    )
+                elif gen >= 0 and rf.gen[preg] != gen:
+                    self._fail(
+                        m,
+                        "checkpoint",
+                        f"checkpoint for branch #{ckpt.branch_seq}: r{lreg} "
+                        f"-> p{preg} was reallocated since the snapshot "
+                        f"(gen {rf.gen[preg]} != {gen})",
+                        cls,
+                        preg,
+                        details={"branch_seq": ckpt.branch_seq, "lreg": lreg},
+                    )
+
+    def _check_vp_bindings(self, m, cls, final) -> None:
+        rf = m.rf[cls]
+        owners: Dict[int, List[int]] = {}
+        for vid, v in m._vregs.items():
+            if v.reg_class == cls and v.preg >= 0 and rf.gen_matches(v.preg, v.preg_gen):
+                owners.setdefault(v.preg, []).append(vid)
+        for preg in rf.allocated_pregs():
+            bound = owners.get(preg, [])
+            if not bound:
+                self._fail(
+                    m,
+                    "prf-leak" if final else "conservation",
+                    f"p{preg} is allocated but no live virtual tag binds it",
+                    cls,
+                    preg,
+                )
+            elif len(bound) > 1:
+                self._fail(
+                    m,
+                    "conservation",
+                    f"p{preg} is bound by {len(bound)} virtual tags "
+                    f"{bound[:4]}",
+                    cls,
+                    preg,
+                    details={"vids": bound[:16]},
+                )
+        for instr in m.rob:
+            if instr.op.dest is None or instr.op.dest_class != cls:
+                continue
+            if instr.dest_vid >= 0 and instr.dest_vid - _VID_FLAG not in m._vregs:
+                self._fail(
+                    m,
+                    "conservation",
+                    f"inflight #{instr.seq} names dead destination tag "
+                    f"v{instr.dest_vid - _VID_FLAG}",
+                    cls,
+                )

@@ -73,6 +73,29 @@ class PriConfig:
 
 
 @dataclass(frozen=True)
+class AuditConfig:
+    """Self-auditing machine invariants (see :mod:`repro.audit`).
+
+    When enabled, an :class:`~repro.audit.InvariantAuditor` is attached
+    to the machine and re-derives the register-reclamation bookkeeping
+    from first principles — free-list conservation, refcount balance,
+    map/checkpoint consistency — raising a structured
+    :class:`~repro.audit.AuditError` on the first divergence instead of
+    letting a bug silently corrupt results.
+    """
+
+    enabled: bool = False
+    #: Cycles between periodic full audits (1 = every cycle; used by the
+    #: fault-injection tests, far too slow for real sweeps).
+    interval: int = 2048
+    #: Also audit at every commit boundary (any cycle that commits at
+    #: least one instruction).  Aggressive; off by default.
+    check_commits: bool = False
+    #: Run the end-of-run audit (PRF leak detection) from ``_finalize``.
+    final: bool = True
+
+
+@dataclass(frozen=True)
 class CacheConfig:
     """One cache level: size/assoc/line in bytes, hit latency in cycles."""
 
@@ -137,7 +160,11 @@ class MachineConfig:
     #: Penalty applied when the REPLAY WAR policy replays a consumer
     #: through the map (extension; see DESIGN.md §6).
     war_replay_penalty: int = 3
+    #: Deadlock watchdog: abort with :class:`SimulationError` after this
+    #: many cycles without a commit.
+    deadlock_cycles: int = 100_000
     pri: PriConfig = field(default_factory=PriConfig)
+    audit: AuditConfig = field(default_factory=AuditConfig)
     #: Prior-work early release (Moudgill et al. [27]): complete flag +
     #: unmap flags + reader counter per physical register.
     early_release: bool = False
@@ -182,6 +209,11 @@ class MachineConfig:
     def with_early_release(self) -> "MachineConfig":
         """Copy of this config with the ER scheme enabled."""
         return replace(self, early_release=True)
+
+    def with_audit(self, **overrides) -> "MachineConfig":
+        """Copy of this config with the invariant auditor enabled."""
+        audit = replace(self.audit, enabled=True, **overrides)
+        return replace(self, audit=audit)
 
     def with_phys_regs(self, int_regs: int, fp_regs: int = None) -> "MachineConfig":
         """Copy with a different physical register file size (Figure 9)."""

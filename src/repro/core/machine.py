@@ -137,6 +137,8 @@ class Machine:
             self.refcounts,
             track_er_refs=config.early_release,
             track_refs=not self._vp,
+            gen_of=(None if self._vp
+                    else lambda cls, preg: self.rf[cls].gen[preg]),
         )
         self.ckpts.on_unref = self._after_unref
         # Virtual-physical state: vtag table, id counter, and per-class
@@ -167,6 +169,15 @@ class Machine:
         self._committed_target = 0
         self._last_commit_cycle = 0
 
+        # End-of-cycle hooks (fault injection, tracing, watchdogs) and
+        # the optional self-auditing invariant checker.
+        self._cycle_hooks: List = []
+        self.auditor = None
+        if config.audit.enabled:
+            from repro.audit.auditor import InvariantAuditor  # lazy: avoids cycle
+
+            self.auditor = InvariantAuditor(config.audit)
+
         # Fetch state.
         self.trace: Optional[Trace] = None
         self._fetch_idx = 0
@@ -191,6 +202,8 @@ class Machine:
         if target == 0:
             return self.stats
         limit = max_cycles if max_cycles is not None else NEVER
+        auditor = self.auditor
+        deadlock_after = self.cfg.deadlock_cycles
         while self.stats.committed < target:
             if self.now >= limit:
                 break
@@ -202,12 +215,35 @@ class Machine:
             self._select()
             self._rename()
             self._fetch()
-            if self.now - self._last_commit_cycle > 100_000:
+            if self._cycle_hooks:
+                for hook in tuple(self._cycle_hooks):
+                    hook(self)
+            if auditor is not None:
+                auditor.maybe_check(self)
+            if self.now - self._last_commit_cycle > deadlock_after:
+                head = repr(self.rob[0]) if self.rob else "rob empty"
                 raise SimulationError(
-                    f"deadlock: no commit since cycle {self._last_commit_cycle}"
+                    f"deadlock: no commit since cycle {self._last_commit_cycle} "
+                    f"(now {self.now}, watchdog {deadlock_after} cycles, "
+                    f"{self.stats.committed}/{target} committed, {head})"
                 )
         self._finalize()
         return self.stats
+
+    def add_cycle_hook(self, hook) -> None:
+        """Register ``hook(machine)`` to run at the end of every cycle.
+        Used by the fault-injection harness and tests."""
+        self._cycle_hooks.append(hook)
+
+    def remove_cycle_hook(self, hook) -> None:
+        self._cycle_hooks.remove(hook)
+
+    def inflight_window(self) -> Tuple[int, int, int]:
+        """(oldest seq, youngest seq, occupancy) of the ROB — the window
+        the audit diagnostics report."""
+        if not self.rob:
+            return (-1, -1, 0)
+        return (self.rob[0].seq, self.rob[-1].seq, len(self.rob))
 
     def warmup(self, trace: Trace) -> None:
         """Train predictors and warm caches on the trace's untimed prefix
@@ -943,6 +979,8 @@ class Machine:
         stats.il1_miss_rate = self.memory.il1.miss_rate
         stats.dl1_miss_rate = self.memory.dl1.miss_rate
         stats.l2_miss_rate = self.memory.l2.miss_rate
+        if self.auditor is not None and self.cfg.audit.final:
+            self.auditor.check(self, final=True)
 
     # ====================================================== debug helpers
 

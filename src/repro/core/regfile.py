@@ -133,13 +133,29 @@ class PhysRegFile:
     def gen_matches(self, preg: int, gen: int) -> bool:
         return self.gen[preg] == gen
 
+    def allocated_pregs(self) -> List[int]:
+        """Registers currently allocated (state != FREE), for auditing."""
+        return [p for p, s in enumerate(self.state) if s != RegState.FREE]
+
     def assert_consistent(self) -> None:
-        """Debug invariant: free list and state array agree."""
-        free_from_state = sum(1 for s in self.state if s == RegState.FREE)
-        if free_from_state != len(self.free_list):
+        """Debug invariant: free list and state array agree, register by
+        register (not just in aggregate)."""
+        self.free_list.assert_well_formed()
+        free_from_state = {
+            p for p, s in enumerate(self.state) if s == RegState.FREE
+        }
+        free_from_list = self.free_list.free_pregs()
+        if free_from_state != free_from_list:
+            ghosts = sorted(free_from_list - free_from_state)
+            missing = sorted(free_from_state - free_from_list)
             raise AssertionError(
-                f"{self.name}: state says {free_from_state} free, "
-                f"free list has {len(self.free_list)}"
+                f"{self.name}: free list and state array disagree "
+                f"(in list but allocated: {ghosts}; "
+                f"free but not in list: {missing})"
             )
-        if self.allocated_count != self.num_regs - free_from_state:
-            raise AssertionError(f"{self.name}: allocated_count drifted")
+        if self.allocated_count != self.num_regs - len(free_from_state):
+            raise AssertionError(
+                f"{self.name}: allocated_count={self.allocated_count} but "
+                f"state array has {self.num_regs - len(free_from_state)} "
+                f"allocated registers"
+            )

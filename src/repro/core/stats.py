@@ -90,6 +90,9 @@ class SimStats:
     er_early_frees: int = 0
     duplicate_deallocs: int = 0
 
+    #: Invariant audits performed (0 unless ``MachineConfig.audit`` is on).
+    audits: int = 0
+
     # occupancy integrals (sum over cycles of allocated registers)
     occupancy_sum: Dict[str, int] = field(default_factory=lambda: {"int": 0, "fp": 0})
     lifetimes: Dict[str, LifetimeStats] = field(

@@ -14,13 +14,17 @@ from repro.experiments.runner import (
     FIGURE10_SCHEMES,
     INT_BENCHMARKS,
     FP_BENCHMARKS,
+    CellError,
+    MatrixError,
     RunSpec,
     TraceCache,
+    matrix_errors,
     run_one,
     run_matrix,
     speedups_over_base,
     width_config,
 )
+from repro.experiments.journal import SweepJournal, cell_key
 from repro.experiments.figures import (
     FigureResult,
     figure1,
@@ -38,8 +42,13 @@ __all__ = [
     "FIGURE10_SCHEMES",
     "INT_BENCHMARKS",
     "FP_BENCHMARKS",
+    "CellError",
+    "MatrixError",
     "RunSpec",
+    "SweepJournal",
     "TraceCache",
+    "cell_key",
+    "matrix_errors",
     "run_one",
     "run_matrix",
     "speedups_over_base",

@@ -7,6 +7,7 @@ import sys
 import time
 
 from repro.experiments import (
+    MatrixError,
     RunSpec,
     figure1,
     figure2,
@@ -47,6 +48,23 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for benchmark-parallel "
                              "figures (results are identical to --jobs 1)")
+    parser.add_argument("--audit", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run every cell with the machine invariant "
+                             "auditor attached (repro.audit)")
+    parser.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                        help="per-cell cycle watchdog: fail a cell that "
+                             "does not finish within N cycles")
+    parser.add_argument("--journal", default=None, metavar="FILE",
+                        help="JSON sweep journal; completed cells are "
+                             "restored from it and new ones appended, so "
+                             "an interrupted sweep resumes")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="wall-clock budget per sweep cell (worker is "
+                             "killed and the cell recorded as a timeout)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry crashed/timed-out cells up to N times")
     args = parser.parse_args(argv)
 
     figures = sorted(set(args.figure))
@@ -57,8 +75,22 @@ def main(argv=None) -> int:
     if not figures and not tables:
         parser.error("nothing to do: pass --all, --figure N, or --table N")
 
-    spec = RunSpec(length=args.length, warmup=args.warmup, seed=args.seed)
+    spec = RunSpec(length=args.length, warmup=args.warmup, seed=args.seed,
+                   max_cycles=args.max_cycles, audit=args.audit)
     widths = (args.width,) if args.width else (4, 8)
+    matrix_opts = {}
+    if args.journal:
+        from repro.experiments import SweepJournal
+
+        try:
+            matrix_opts["journal"] = SweepJournal(args.journal)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+    if args.cell_timeout is not None:
+        matrix_opts["cell_timeout"] = args.cell_timeout
+    if args.retries:
+        matrix_opts["retries"] = args.retries
 
     def emit(name: str, result) -> None:
         text = result.render()
@@ -81,12 +113,23 @@ def main(argv=None) -> int:
         print(f"[table {number}: {time.time() - start:.1f}s]\n")
     for number in figures:
         start = time.time()
-        if number == 2:
-            result = figure2(length=max(args.length, 10000), seed=args.seed)
-        elif number == 9:
-            result = _FIGURES[number](spec, widths=widths)
-        else:
-            result = _FIGURES[number](spec, widths=widths, jobs=args.jobs)
+        try:
+            if number == 2:
+                result = figure2(length=max(args.length, 10000), seed=args.seed)
+            elif number == 9:
+                result = _FIGURES[number](spec, widths=widths)
+            else:
+                result = _FIGURES[number](spec, widths=widths, jobs=args.jobs,
+                                          matrix_opts=matrix_opts)
+        except MatrixError as err:
+            print(f"figure {number} failed: {len(err.errors)} sweep cell(s) "
+                  "did not complete:", file=sys.stderr)
+            for record in err.errors:
+                print(f"  {record}", file=sys.stderr)
+            if args.journal:
+                print(f"(completed cells are journaled in {args.journal}; "
+                      "re-run to resume)", file=sys.stderr)
+            return 1
         emit(f"figure{number}", result)
         print(f"[figure {number}: {time.time() - start:.1f}s]\n")
     return 0

@@ -9,7 +9,6 @@ what is being reproduced.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,7 +30,6 @@ from repro.experiments.runner import (
     FIGURE10_SCHEMES,
     FP_BENCHMARKS,
     INT_BENCHMARKS,
-    SCHEMES,
     RunSpec,
     TraceCache,
     run_matrix,
@@ -64,9 +62,15 @@ def figure1(
     benchmarks: Sequence[str] = INT_BENCHMARKS,
     traces: Optional[TraceCache] = None,
     jobs: int = 1,
+    matrix_opts: Optional[Dict] = None,
 ) -> FigureResult:
     """Average physical register lifetime, split into alloc→write,
-    write→last-read, last-read→release (stacked bars of Figure 1)."""
+    write→last-read, last-read→release (stacked bars of Figure 1).
+
+    ``matrix_opts`` forwards extra keyword arguments (``journal``,
+    ``cell_timeout``, ``retries``, ``on_error``, ...) to
+    :func:`~repro.experiments.runner.run_matrix`; the same applies to
+    every other matrix-backed figure driver."""
     spec = spec or RunSpec()
     result = FigureResult(
         "Figure 1: average integer register lifetime (cycles), base machine"
@@ -74,7 +78,8 @@ def figure1(
     for width in widths:
         rows = []
         breakdowns: List[LifetimeBreakdown] = []
-        matrix = run_matrix(benchmarks, ["base"], width, spec, traces, jobs=jobs)
+        matrix = run_matrix(benchmarks, ["base"], width, spec, traces, jobs=jobs,
+                            **(matrix_opts or {}))
         for benchmark in benchmarks:
             b = breakdown_from_stats(matrix[benchmark]["base"], benchmark)
             breakdowns.append(b)
@@ -180,6 +185,7 @@ def figure8(
     benchmarks: Sequence[str] = INT_BENCHMARKS,
     traces: Optional[TraceCache] = None,
     jobs: int = 1,
+    matrix_opts: Optional[Dict] = None,
 ) -> FigureResult:
     """Register lifetime for base vs PRI vs PRI+ER (Figure 8)."""
     spec = spec or RunSpec()
@@ -189,7 +195,8 @@ def figure8(
         "Figure 8: average integer register lifetime (cycles) with PRI / PRI+ER"
     )
     for width in widths:
-        matrix = run_matrix(benchmarks, schemes, width, spec, traces, jobs=jobs)
+        matrix = run_matrix(benchmarks, schemes, width, spec, traces, jobs=jobs,
+                            **(matrix_opts or {}))
         rows = []
         data = {}
         for benchmark in benchmarks:
@@ -270,12 +277,14 @@ def _scheme_speedup_figure(
     widths: Sequence[int],
     traces: Optional[TraceCache],
     jobs: int = 1,
+    matrix_opts: Optional[Dict] = None,
 ) -> FigureResult:
     spec = spec or RunSpec()
     schemes = ("base",) + FIGURE10_SCHEMES
     result = FigureResult(title)
     for width in widths:
-        matrix = run_matrix(benchmarks, schemes, width, spec, traces, jobs=jobs)
+        matrix = run_matrix(benchmarks, schemes, width, spec, traces, jobs=jobs,
+                            **(matrix_opts or {}))
         speedups = speedups_over_base(matrix)
         rows = []
         for benchmark in benchmarks:
@@ -312,11 +321,12 @@ def figure10(
     benchmarks: Sequence[str] = INT_BENCHMARKS,
     traces: Optional[TraceCache] = None,
     jobs: int = 1,
+    matrix_opts: Optional[Dict] = None,
 ) -> FigureResult:
     """PRI speedups for the SPECint suite (Figure 10)."""
     return _scheme_speedup_figure(
         "Figure 10: PRI speed-up, SPEC2000 integer", benchmarks, spec, widths,
-        traces, jobs=jobs,
+        traces, jobs=jobs, matrix_opts=matrix_opts,
     )
 
 
@@ -326,11 +336,12 @@ def figure12(
     benchmarks: Sequence[str] = FP_BENCHMARKS,
     traces: Optional[TraceCache] = None,
     jobs: int = 1,
+    matrix_opts: Optional[Dict] = None,
 ) -> FigureResult:
     """PRI speedups for the SPECfp suite (Figure 12)."""
     return _scheme_speedup_figure(
         "Figure 12: PRI speed-up, SPEC2000 floating point", benchmarks, spec,
-        widths, traces, jobs=jobs,
+        widths, traces, jobs=jobs, matrix_opts=matrix_opts,
     )
 
 
@@ -344,6 +355,7 @@ def figure11(
     benchmarks: Sequence[str] = INT_BENCHMARKS,
     traces: Optional[TraceCache] = None,
     jobs: int = 1,
+    matrix_opts: Optional[Dict] = None,
 ) -> FigureResult:
     """Average integer PRF occupancy for base / ER / PRI / PRI+ER."""
     spec = spec or RunSpec()
@@ -351,7 +363,8 @@ def figure11(
     labels = ("base", "ER", "PRI", "PRI+ER")
     result = FigureResult("Figure 11: average integer PRF occupancy (registers)")
     for width in widths:
-        matrix = run_matrix(benchmarks, schemes, width, spec, traces)
+        matrix = run_matrix(benchmarks, schemes, width, spec, traces, jobs=jobs,
+                            **(matrix_opts or {}))
         rows = []
         data = {}
         for benchmark in benchmarks:

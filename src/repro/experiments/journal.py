@@ -1,0 +1,120 @@
+"""On-disk sweep journal: resume interrupted figure/table runs.
+
+A :class:`SweepJournal` is a small JSON document mapping cell keys —
+``benchmark|scheme|width|run-spec`` — to either a serialized
+:class:`~repro.core.stats.SimStats` (completed cell) or a structured
+error record (failed cell).  :func:`~repro.experiments.runner.run_matrix`
+consults it before simulating each cell and appends to it as cells
+finish, so a sweep killed halfway (machine crash, OOM-killed worker,
+Ctrl-C) resumes from the completed cells instead of re-simulating them.
+Failed cells are *not* resumed — a re-run retries them.
+
+Writes are atomic (write-to-temp then :func:`os.replace`), so a crash
+mid-write never corrupts the journal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.core.stats import LifetimeStats, SimStats
+
+_VERSION = 1
+
+
+def stats_to_dict(stats: SimStats) -> Dict:
+    """JSON-serializable form of a :class:`SimStats` (deep)."""
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(data: Dict) -> SimStats:
+    """Inverse of :func:`stats_to_dict`."""
+    payload = dict(data)
+    payload["lifetimes"] = {
+        name: LifetimeStats(**fields)
+        for name, fields in payload.get("lifetimes", {}).items()
+    }
+    return SimStats(**payload)
+
+
+def cell_key(benchmark: str, scheme: str, width: int, spec) -> str:
+    """Stable identity of one sweep cell.  Includes everything that
+    determines the simulation's outcome, so one journal file can safely
+    back multiple figures and run lengths."""
+    return (
+        f"{benchmark}|{scheme}|w{width}|n{spec.length}|u{spec.warmup}"
+        f"|s{spec.seed}|c{spec.max_cycles or 0}|a{int(spec.audit)}"
+    )
+
+
+class SweepJournal:
+    """Journal of completed/failed sweep cells, persisted after every
+    update."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._cells: Dict[str, Dict] = {}
+        if os.path.exists(path):
+            with open(path) as handle:
+                try:
+                    doc = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"journal {path!r} is not valid JSON ({exc}); "
+                        "delete or move it to start a fresh sweep"
+                    ) from exc
+            version = doc.get("version") if isinstance(doc, dict) else None
+            if version != _VERSION:
+                raise ValueError(
+                    f"journal {path!r} has version {version}, "
+                    f"expected {_VERSION}"
+                )
+            self._cells = doc.get("cells", {})
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for c in self._cells.values() if c.get("status") == "ok")
+
+    def get(self, key: str) -> Optional[SimStats]:
+        """Stats for a completed cell, or None (missing or failed)."""
+        cell = self._cells.get(key)
+        if cell is None or cell.get("status") != "ok":
+            return None
+        return stats_from_dict(cell["stats"])
+
+    def record_ok(self, key: str, stats: SimStats) -> None:
+        self._cells[key] = {"status": "ok", "stats": stats_to_dict(stats)}
+        self._flush()
+
+    def record_error(self, key: str, error: Dict) -> None:
+        self._cells[key] = {"status": "error", "error": error}
+        self._flush()
+
+    def errors(self) -> Dict[str, Dict]:
+        """key -> error record for every failed cell still journaled."""
+        return {
+            key: cell["error"]
+            for key, cell in self._cells.items()
+            if cell.get("status") == "error"
+        }
+
+    def _flush(self) -> None:
+        doc = {"version": _VERSION, "cells": self._cells}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".journal.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle, indent=1)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

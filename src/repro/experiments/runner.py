@@ -18,8 +18,11 @@ The scheme names follow the paper's Figures 10 and 12 exactly:
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import (
     EFFECTIVELY_INFINITE_REGS,
@@ -29,8 +32,9 @@ from repro.config import (
     eight_wide,
     four_wide,
 )
-from repro.core.machine import simulate
+from repro.core.machine import SimulationError, simulate
 from repro.core.stats import SimStats
+from repro.experiments.journal import SweepJournal, cell_key
 from repro.workloads import SPEC_FP, SPEC_INT, Trace, generate_trace
 
 
@@ -94,6 +98,14 @@ class RunSpec:
     length: int = 6000
     warmup: int = 20000
     seed: int = 1
+    #: In-simulator deadlock watchdog: abort the cell (with
+    #: :class:`SimulationError`) if it needs more than this many cycles,
+    #: instead of silently truncating.  None = unbounded.
+    max_cycles: Optional[int] = None
+    #: Run every cell with the invariant auditor attached
+    #: (:mod:`repro.audit`); bookkeeping corruption then fails the cell
+    #: loudly instead of skewing its results.
+    audit: bool = False
 
 
 class TraceCache:
@@ -123,25 +135,253 @@ def run_one(
     spec: Optional[RunSpec] = None,
     traces: Optional[TraceCache] = None,
 ) -> SimStats:
-    """Simulate one (benchmark, scheme, width) cell."""
+    """Simulate one (benchmark, scheme, width) cell.
+
+    Honors ``spec.audit`` (attach the invariant auditor) and
+    ``spec.max_cycles`` (deadlock watchdog: a cell that fails to finish
+    within the cycle budget raises :class:`SimulationError` rather than
+    returning silently-truncated statistics).
+    """
     spec = spec or RunSpec()
     traces = traces or _GLOBAL_TRACES
     config = SCHEMES[scheme](width_config(width))
-    return simulate(config, traces.get(benchmark, spec))
+    if spec.audit:
+        config = config.with_audit()
+    trace = traces.get(benchmark, spec)
+    stats = simulate(config, trace, max_cycles=spec.max_cycles)
+    if spec.max_cycles is not None and stats.committed < len(trace):
+        raise SimulationError(
+            f"cycle-limit watchdog: {benchmark}/{scheme} committed only "
+            f"{stats.committed}/{len(trace)} instructions in "
+            f"{spec.max_cycles} cycles"
+        )
+    return stats
 
 
-def _run_row(args) -> tuple:
-    """Worker: one benchmark through every scheme (module-level so it
-    pickles for multiprocessing).  Regenerates the trace locally — traces
-    are deterministic in (benchmark, spec), so results are identical to
-    the serial path."""
-    benchmark, schemes, width, spec = args
-    traces = TraceCache()
-    row = {
-        scheme: run_one(benchmark, scheme, width, spec, traces)
-        for scheme in schemes
-    }
-    return benchmark, row
+# ================================================================ cells
+
+
+@dataclass
+class CellError:
+    """Structured record of one failed (benchmark, scheme) sweep cell."""
+
+    benchmark: str
+    scheme: str
+    #: ``error`` — the simulation raised (deterministic, not retried);
+    #: ``crash`` — the worker process died (signal/exit, retried);
+    #: ``timeout`` — the cell exceeded its wall-clock budget (retried).
+    kind: str
+    error_type: str
+    message: str
+    attempts: int
+    elapsed: float
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CellError":
+        return cls(**data)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.benchmark}/{self.scheme}: {self.kind} "
+            f"[{self.error_type}] {self.message} "
+            f"(attempt {self.attempts}, {self.elapsed:.1f}s)"
+        )
+
+
+MatrixCell = Union[SimStats, CellError]
+
+
+class MatrixError(RuntimeError):
+    """One or more sweep cells failed under ``on_error='raise'``.  The
+    completed cells and the structured error records are attached, so a
+    caller (or the journal) loses nothing."""
+
+    def __init__(self, errors: List[CellError], results: Dict[str, Dict[str, MatrixCell]]):
+        self.errors = errors
+        self.results = results
+        lines = "; ".join(str(e) for e in errors[:4])
+        more = f" (+{len(errors) - 4} more)" if len(errors) > 4 else ""
+        super().__init__(f"{len(errors)} sweep cell(s) failed: {lines}{more}")
+
+
+def matrix_errors(results: Dict[str, Dict[str, MatrixCell]]) -> List[CellError]:
+    """All error records in a matrix, in benchmark-major order."""
+    return [
+        cell
+        for row in results.values()
+        for cell in row.values()
+        if isinstance(cell, CellError)
+    ]
+
+
+def _cell_entry(conn, cell_fn, benchmark, scheme, width, spec) -> None:
+    """Worker-process entry: one cell, result or error over the pipe.
+    A crash (signal, os._exit) simply never sends — the parent classifies
+    it from the exit code."""
+    try:
+        stats = cell_fn(benchmark, scheme, width, spec, None)
+        conn.send(("ok", stats))
+    except BaseException as exc:  # noqa: BLE001 — must report, not die silently
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Pending:
+    benchmark: str
+    scheme: str
+    attempts: int = 0
+    not_before: float = 0.0
+
+
+@dataclass
+class _Running:
+    proc: object
+    conn: object
+    cell: _Pending
+    deadline: Optional[float]
+    started: float = field(default_factory=time.monotonic)
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _run_cells_isolated(
+    cells: List[Tuple[str, str]],
+    width: int,
+    spec: RunSpec,
+    jobs: int,
+    cell_timeout: Optional[float],
+    retries: int,
+    retry_backoff: float,
+    cell_fn: Callable,
+    on_cell_done: Callable[[str, str, MatrixCell], None],
+) -> None:
+    """Run cells in per-cell worker processes with crash isolation.
+
+    Each cell gets its own process, so a segfaulting or OOM-killed
+    worker takes down exactly one cell; ``crash`` and ``timeout``
+    failures are retried up to ``retries`` times with exponential
+    backoff, deterministic simulation errors are not.
+    """
+    ctx = _mp_context()
+    pending: List[_Pending] = [_Pending(b, s) for b, s in cells]
+    running: Dict[object, _Running] = {}
+
+    def finish(entry: _Running, kind: Optional[str] = None) -> None:
+        elapsed = time.monotonic() - entry.started
+        cell = entry.cell
+        message = None
+        try:
+            if entry.conn.poll():
+                message = entry.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        entry.conn.close()
+        # A message always wins, even against a just-expired deadline:
+        # the worker finished, so its result (or error) is real.
+        if message is not None and message[0] == "ok":
+            on_cell_done(cell.benchmark, cell.scheme, message[1])
+            return
+        if message is not None:
+            error = CellError(
+                cell.benchmark, cell.scheme, "error",
+                message[1], message[2], cell.attempts, elapsed,
+            )
+            on_cell_done(cell.benchmark, cell.scheme, error)
+            return
+        if kind is None:
+            kind = "crash"
+        if kind == "timeout":
+            error = CellError(
+                cell.benchmark, cell.scheme, "timeout", "TimeoutError",
+                f"cell exceeded its {cell_timeout:.1f}s wall-clock budget",
+                cell.attempts, elapsed,
+            )
+        else:
+            code = entry.proc.exitcode
+            error = CellError(
+                cell.benchmark, cell.scheme, "crash", f"exit({code})",
+                f"worker process died with exit code {code} before "
+                f"reporting a result",
+                cell.attempts, elapsed,
+            )
+        if cell.attempts <= retries:
+            cell.not_before = time.monotonic() + retry_backoff * (
+                2 ** (cell.attempts - 1)
+            )
+            pending.append(cell)
+        else:
+            on_cell_done(cell.benchmark, cell.scheme, error)
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            launched = False
+            while len(running) < jobs and pending:
+                index = next(
+                    (i for i, c in enumerate(pending) if c.not_before <= now),
+                    None,
+                )
+                if index is None:
+                    break
+                cell = pending.pop(index)
+                cell.attempts += 1
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_cell_entry,
+                    args=(child_conn, cell_fn, cell.benchmark, cell.scheme,
+                          width, spec),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                deadline = now + cell_timeout if cell_timeout else None
+                running[proc.sentinel] = _Running(proc, parent_conn, cell, deadline)
+                launched = True
+            if launched:
+                continue
+            if not running:
+                # Everything pending is backing off: sleep until the first
+                # retry is due.
+                wake = min(c.not_before for c in pending)
+                time.sleep(max(0.0, wake - time.monotonic()) + 0.001)
+                continue
+            timeout = 0.5
+            deadlines = [r.deadline for r in running.values() if r.deadline]
+            if deadlines:
+                timeout = min(timeout, max(0.0, min(deadlines) - now))
+            if pending:
+                wake = min(c.not_before for c in pending)
+                timeout = min(timeout, max(0.0, wake - now))
+            ready = mp_connection.wait(list(running), timeout=timeout)
+            for sentinel in ready:
+                entry = running.pop(sentinel)
+                entry.proc.join()
+                finish(entry)
+            now = time.monotonic()
+            for sentinel, entry in list(running.items()):
+                if entry.deadline is not None and now >= entry.deadline:
+                    del running[sentinel]
+                    entry.proc.terminate()
+                    entry.proc.join(5)
+                    if entry.proc.is_alive():
+                        entry.proc.kill()
+                        entry.proc.join(5)
+                    finish(entry, kind="timeout")
+    finally:
+        for entry in running.values():
+            entry.proc.terminate()
+            entry.conn.close()
 
 
 def run_matrix(
@@ -151,43 +391,128 @@ def run_matrix(
     spec: Optional[RunSpec] = None,
     traces: Optional[TraceCache] = None,
     jobs: int = 1,
-) -> Dict[str, Dict[str, SimStats]]:
+    *,
+    on_error: str = "raise",
+    cell_timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff: float = 0.5,
+    journal: Optional[Union[str, SweepJournal]] = None,
+    cell_fn: Optional[Callable] = None,
+) -> Dict[str, Dict[str, MatrixCell]]:
     """Simulate a benchmark x scheme matrix; returns [benchmark][scheme].
 
-    ``jobs > 1`` distributes whole benchmarks over worker processes; the
-    results are bit-identical to a serial run (each worker regenerates
-    the same deterministic trace).
-    """
-    spec = spec or RunSpec()
-    if jobs > 1 and len(benchmarks) > 1:
-        import concurrent.futures
+    Execution is fault-tolerant at (benchmark, scheme) cell granularity:
 
-        work = [(b, tuple(schemes), width, spec) for b in benchmarks]
-        results: Dict[str, Dict[str, SimStats]] = {}
-        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-            for benchmark, row in pool.map(_run_row, work):
-                results[benchmark] = row
-        return {b: results[b] for b in benchmarks}
-    traces = traces or _GLOBAL_TRACES
-    results = {}
+    * ``jobs > 1`` runs each cell in its own worker process, so one
+      crashing or hanging cell can never take down the sweep (the old
+      pool-based runner died whole);
+    * ``cell_timeout`` bounds each cell's wall-clock seconds (parallel
+      path only — the serial path relies on ``spec.max_cycles``, the
+      in-simulator watchdog, instead);
+    * ``crash``/``timeout`` failures are retried up to ``retries`` times
+      with exponential backoff (``retry_backoff * 2**attempt`` seconds);
+      deterministic simulation errors are not retried;
+    * ``journal`` (a path or a :class:`SweepJournal`) names an on-disk
+      JSON journal: completed cells are
+      restored from it instead of re-simulated, and every finished cell
+      is persisted as it lands, so an interrupted sweep resumes;
+    * ``on_error='record'`` leaves a structured :class:`CellError` in
+      the matrix for each failed cell (see :func:`matrix_errors`);
+      ``'raise'`` (default) raises :class:`MatrixError` — *after*
+      finishing and journaling every other cell — with the partial
+      results attached.
+
+    Results are bit-identical between serial and parallel runs: traces
+    are deterministic in (benchmark, spec), and each worker regenerates
+    its own.  For that reason the ``traces`` cache is only consulted on
+    the serial (in-process) path; on the parallel path it is
+    intentionally unused — a cache cannot be shared across processes
+    without shipping whole traces over pickle, which costs more than
+    regeneration.
+
+    ``cell_fn`` overrides the per-cell simulation callable (signature of
+    :func:`run_one`); it exists for fault-injection tests.
+    """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    spec = spec or RunSpec()
+    cell_fn = cell_fn or run_one
+    if journal is None or isinstance(journal, SweepJournal):
+        sweep_journal = journal
+    else:
+        sweep_journal = SweepJournal(journal)
+
+    results: Dict[str, Dict[str, MatrixCell]] = {b: {} for b in benchmarks}
+    todo: List[Tuple[str, str]] = []
     for benchmark in benchmarks:
-        row: Dict[str, SimStats] = {}
         for scheme in schemes:
-            row[scheme] = run_one(benchmark, scheme, width, spec, traces)
-        results[benchmark] = row
+            if sweep_journal is not None:
+                saved = sweep_journal.get(cell_key(benchmark, scheme, width, spec))
+                if saved is not None:
+                    results[benchmark][scheme] = saved
+                    continue
+            todo.append((benchmark, scheme))
+
+    def on_cell_done(benchmark: str, scheme: str, cell: MatrixCell) -> None:
+        results[benchmark][scheme] = cell
+        if sweep_journal is not None:
+            key = cell_key(benchmark, scheme, width, spec)
+            if isinstance(cell, CellError):
+                sweep_journal.record_error(key, cell.to_dict())
+            else:
+                sweep_journal.record_ok(key, cell)
+
+    # ``jobs == 1`` without resilience options stays fully in-process
+    # (fast unit tests, pdb-able); anything else gets per-cell worker
+    # processes — the fork cost is trivial next to a simulation cell,
+    # and only a separate process can survive a crashing or hanging cell.
+    isolate = bool(todo) and (
+        jobs > 1 or cell_timeout is not None or retries > 0
+    )
+    if isolate:
+        _run_cells_isolated(
+            todo, width, spec, jobs, cell_timeout, retries, retry_backoff,
+            cell_fn, on_cell_done,
+        )
+    else:
+        local_traces = traces or _GLOBAL_TRACES
+        for benchmark, scheme in todo:
+            started = time.monotonic()
+            try:
+                stats = cell_fn(benchmark, scheme, width, spec, local_traces)
+            except Exception as exc:  # deterministic: no retry
+                stats = CellError(
+                    benchmark, scheme, "error", type(exc).__name__,
+                    str(exc), 1, time.monotonic() - started,
+                )
+            on_cell_done(benchmark, scheme, stats)
+
+    results = {
+        b: {s: results[b][s] for s in schemes if s in results[b]}
+        for b in benchmarks
+    }
+    errors = matrix_errors(results)
+    if errors and on_error == "raise":
+        raise MatrixError(errors, results)
     return results
 
 
 def speedups_over_base(
-    results: Dict[str, Dict[str, SimStats]]
+    results: Dict[str, Dict[str, MatrixCell]]
 ) -> Dict[str, Dict[str, float]]:
-    """Convert a matrix including 'base' into per-scheme IPC speedups."""
+    """Convert a matrix including 'base' into per-scheme IPC speedups.
+
+    Failed cells (:class:`CellError` records) are skipped; a benchmark
+    whose 'base' cell failed is dropped entirely."""
     out: Dict[str, Dict[str, float]] = {}
     for benchmark, row in results.items():
-        base_ipc = row["base"].ipc
+        base = row.get("base")
+        if not isinstance(base, SimStats):
+            continue
+        base_ipc = base.ipc
         out[benchmark] = {
             scheme: (stats.ipc / base_ipc if base_ipc else 0.0)
             for scheme, stats in row.items()
-            if scheme != "base"
+            if scheme != "base" and isinstance(stats, SimStats)
         }
     return out

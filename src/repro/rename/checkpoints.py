@@ -39,16 +39,23 @@ class Checkpoint:
     __slots__ = (
         "branch_seq",
         "snapshots",
+        "gens",
         "ras",
         "history",
         "resolve_released",
         "commit_released",
     )
 
-    def __init__(self, branch_seq, snapshots, ras, history):
+    def __init__(self, branch_seq, snapshots, ras, history, gens=None):
         self.branch_seq = branch_seq
         #: Mapping RegClass -> list[MapEntry]
         self.snapshots: Dict[RegClass, List[MapEntry]] = snapshots
+        #: Mapping RegClass -> list[int], parallel to ``snapshots``: the
+        #: allocation generation of each POINTER entry at snapshot time
+        #: (-1 for immediates, or when the manager has no ``gen_of``).
+        #: The auditor uses this to prove a checkpointed pointer still
+        #: names the same allocation it was taken against.
+        self.gens: Optional[Dict[RegClass, List[int]]] = gens
         self.ras: List[int] = ras
         self.history: int = history
         self.resolve_released = False
@@ -58,6 +65,15 @@ class Checkpoint:
         return [
             e.value
             for e in self.snapshots[reg_class]
+            if e.mode == EntryMode.POINTER and e.value >= 0
+        ]
+
+    def pointer_items(self, reg_class: RegClass) -> List[tuple]:
+        """(lreg, preg, snapshot_gen) for every live POINTER entry."""
+        gens = self.gens[reg_class] if self.gens is not None else None
+        return [
+            (lreg, e.value, gens[lreg] if gens is not None else -1)
+            for lreg, e in enumerate(self.snapshots[reg_class])
             if e.mode == EntryMode.POINTER and e.value >= 0
         ]
 
@@ -76,6 +92,7 @@ class CheckpointManager:
         refcounts: Dict[RegClass, RefCountTable],
         track_er_refs: bool = False,
         track_refs: bool = True,
+        gen_of: Optional[Callable[[RegClass, int], int]] = None,
     ) -> None:
         self.capacity = capacity
         self.maps = maps
@@ -84,8 +101,14 @@ class CheckpointManager:
         #: Disabled in virtual-physical mode, where map pointers name
         #: unbounded virtual tags rather than physical registers.
         self.track_refs = track_refs
+        #: Allocation-generation reader for snapshot stamping (auditing).
+        self.gen_of = gen_of
         self.on_unref: Optional[Callable[[RegClass, int], None]] = None
         self._stack: List[Checkpoint] = []
+        #: Checkpoints released from the stack (branch resolved) that
+        #: still pin commit-scoped ER references.  The auditor walks this
+        #: to recompute ``er_checkpoint`` counts.
+        self._er_pending: List[Checkpoint] = []
         self.taken = 0
         self.patches_applied = 0
 
@@ -99,6 +122,11 @@ class CheckpointManager:
     def checkpoints(self) -> List[Checkpoint]:
         return list(self._stack)
 
+    def er_pending(self) -> List[Checkpoint]:
+        """Checkpoints whose commit-scoped (ER) references are still
+        outstanding — a superset of the stack under ER tracking."""
+        return list(self._er_pending)
+
     # ------------------------------------------------------------ create
 
     def take(self, branch_seq: int, ras: List[int], history: int) -> Optional[Checkpoint]:
@@ -107,7 +135,18 @@ class CheckpointManager:
         if self.full:
             return None
         snapshots = {cls: table.snapshot() for cls, table in self.maps.items()}
-        ckpt = Checkpoint(branch_seq, snapshots, ras, history)
+        gens = None
+        if self.gen_of is not None:
+            gens = {
+                cls: [
+                    self.gen_of(cls, e.value)
+                    if e.mode == EntryMode.POINTER and e.value >= 0
+                    else -1
+                    for e in entries
+                ]
+                for cls, entries in snapshots.items()
+            }
+        ckpt = Checkpoint(branch_seq, snapshots, ras, history, gens)
         if self.track_refs:
             for cls in snapshots:
                 counts = self.refcounts[cls]
@@ -115,6 +154,8 @@ class CheckpointManager:
                     counts.add_checkpoint_ref(preg)
                     if self.track_er_refs:
                         counts.add_er_checkpoint_ref(preg)
+            if self.track_er_refs:
+                self._er_pending.append(ckpt)
         self._stack.append(ckpt)
         self.taken += 1
         return ckpt
@@ -139,6 +180,10 @@ class CheckpointManager:
             ckpt.commit_released = True
             return
         ckpt.commit_released = True
+        try:
+            self._er_pending.remove(ckpt)
+        except ValueError:
+            pass
         for cls in ckpt.snapshots:
             counts = self.refcounts[cls]
             for preg in ckpt.pointer_entries(cls):
@@ -203,5 +248,8 @@ class CheckpointManager:
         """Drop all checkpoints (end of run), releasing their references."""
         for ckpt in self._stack:
             self._drop_resolve_refs(ckpt)
+        for ckpt in list(self._er_pending):
+            self._drop_commit_refs(ckpt)
+        for ckpt in self._stack:
             self._drop_commit_refs(ckpt)
         self._stack.clear()

@@ -37,6 +37,25 @@ class FreeList:
     def empty(self) -> bool:
         return not self._queue
 
+    def free_pregs(self) -> frozenset:
+        """Snapshot of the registers currently free (for auditing)."""
+        return frozenset(self._free)
+
+    def assert_well_formed(self) -> None:
+        """Audit hook: the FIFO queue and the membership set must agree
+        exactly (a divergence means a double-free slipped past
+        :meth:`release` or an entry was dropped)."""
+        if len(self._queue) != len(self._free):
+            raise AssertionError(
+                f"free list corrupt: queue holds {len(self._queue)} entries "
+                f"but membership set holds {len(self._free)}"
+            )
+        if set(self._queue) != self._free:
+            raise AssertionError(
+                "free list corrupt: queue and membership set name "
+                "different registers"
+            )
+
     def allocate(self) -> Optional[int]:
         """Pop the next free register, or None when empty."""
         if not self._queue:

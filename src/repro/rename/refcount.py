@@ -68,6 +68,14 @@ class RefCountTable:
 
     # ----------------------------------------------------------- queries
 
+    def counts(self, preg: int) -> tuple:
+        """(consumer, checkpoint, er_checkpoint) for one register."""
+        return (self._consumer[preg], self._checkpoint[preg], self._er_checkpoint[preg])
+
+    def snapshot(self) -> tuple:
+        """Copies of all three count arrays (for auditing)."""
+        return (list(self._consumer), list(self._checkpoint), list(self._er_checkpoint))
+
     def pinned(self, preg: int, include_checkpoints: bool = True) -> bool:
         """True while references forbid freeing ``preg``."""
         if self._consumer[preg] > 0:

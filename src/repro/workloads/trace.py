@@ -7,7 +7,6 @@ from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
 from repro.isa.instruction import MicroOp
-from repro.isa.opcodes import OpClass
 
 
 @dataclass

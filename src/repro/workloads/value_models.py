@@ -10,7 +10,7 @@ distributions (Figure 2, bottom).
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 from repro.isa.values import (
     MAX_UINT64,

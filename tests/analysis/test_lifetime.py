@@ -1,6 +1,5 @@
 """Lifetime breakdown extraction tests."""
 
-import pytest
 
 from repro.analysis.lifetime import LifetimeBreakdown, breakdown_from_stats
 from repro.core.stats import SimStats

@@ -1,0 +1,103 @@
+"""Clean-run auditing: every scheme passes aggressive invariant audits."""
+
+import dataclasses
+
+import pytest
+
+from repro.audit import InvariantAuditor, scheme_label
+from repro.config import CheckpointPolicy, WarPolicy
+from repro.core.machine import Machine, SimulationError, simulate
+from repro.experiments.runner import FIGURE10_SCHEMES, SCHEMES
+
+
+def _audited(config):
+    """Aggressive settings: audit every 16 cycles and at every commit."""
+    return config.with_audit(interval=16, check_commits=True)
+
+
+@pytest.mark.parametrize("scheme", ("base",) + FIGURE10_SCHEMES)
+def test_figure10_schemes_audit_clean(cfg4, gzip_trace, scheme):
+    config = _audited(SCHEMES[scheme](cfg4))
+    stats = simulate(config, gzip_trace)
+    assert stats.committed == len(gzip_trace)
+    assert stats.audits > 0
+
+
+def test_vp_audits_clean(cfg4, gzip_trace):
+    config = _audited(cfg4.with_virtual_physical())
+    stats = simulate(config, gzip_trace)
+    assert stats.committed == len(gzip_trace)
+    assert stats.audits > 0
+
+
+def test_vp_pri_audits_clean(cfg4, gzip_trace):
+    config = _audited(cfg4.with_virtual_physical().with_pri(
+        WarPolicy.REFCOUNT, CheckpointPolicy.CKPTCOUNT))
+    stats = simulate(config, gzip_trace)
+    assert stats.committed == len(gzip_trace)
+
+
+def test_replay_policy_audits_clean(cfg4, gzip_trace):
+    config = _audited(cfg4.with_pri(WarPolicy.REPLAY, CheckpointPolicy.CKPTCOUNT))
+    stats = simulate(config, gzip_trace)
+    assert stats.committed == len(gzip_trace)
+
+
+def test_final_audit_runs_without_interval(cfg4, gzip_trace):
+    """final=True alone still audits once at end of run."""
+    config = cfg4.with_audit(interval=0, check_commits=False)
+    stats = simulate(config, gzip_trace)
+    assert stats.audits == 1
+
+
+def test_audit_off_by_default(cfg4, gzip_trace):
+    stats = simulate(cfg4, gzip_trace)
+    assert stats.audits == 0
+
+
+def test_commit_boundary_audits(cfg4, gzip_trace):
+    """check_commits audits far more often than the interval alone."""
+    sparse = simulate(cfg4.with_audit(interval=10_000), gzip_trace)
+    dense = simulate(
+        cfg4.with_audit(interval=10_000, check_commits=True), gzip_trace
+    )
+    assert dense.audits > sparse.audits
+
+
+def test_scheme_labels():
+    from repro.config import four_wide
+
+    plain = four_wide()
+    assert scheme_label(SCHEMES["base"](plain)) == "base"
+    assert scheme_label(SCHEMES["ER"](plain)) == "ER"
+    assert "PRI" in scheme_label(SCHEMES["PRI+ER"](plain))
+    assert scheme_label(plain.with_virtual_physical()).startswith("VP")
+
+
+def test_auditor_counts_in_stats(cfg4, gzip_trace):
+    config = cfg4.with_audit(interval=64)
+    machine = Machine(config)
+    assert isinstance(machine.auditor, InvariantAuditor)
+    stats = machine.run(gzip_trace)
+    assert stats.audits >= stats.cycles // 64
+
+
+def test_deadlock_watchdog_fires(cfg4, gzip_trace):
+    """Starving the free list mid-run stalls rename forever; the
+    no-commit watchdog must convert the hang into a SimulationError."""
+    from repro.isa.opcodes import RegClass
+
+    config = dataclasses.replace(cfg4, deadlock_cycles=500)
+    machine = Machine(config)
+
+    def steal_all_free_regs(m):
+        if m.now < 100:
+            return
+        rf = m.rf[RegClass.INT]
+        while rf.allocate(lreg=0, owner_seq=-3, cycle=m.now) is not None:
+            pass
+
+    machine.add_cycle_hook(steal_all_free_regs)
+    with pytest.raises(SimulationError, match="deadlock: no commit since"):
+        machine.run(gzip_trace)
+    assert machine.now < 5000  # fired promptly, not at max_cycles

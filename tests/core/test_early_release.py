@@ -3,7 +3,6 @@ PRI (paper Section 3.5)."""
 
 import dataclasses
 
-import pytest
 
 from repro.core.machine import Machine, simulate
 from repro.workloads import TraceBuilder

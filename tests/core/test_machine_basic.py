@@ -6,7 +6,6 @@ verifies dataflow (the machine raises SimulationError on any value or
 generation mismatch).
 """
 
-import pytest
 
 from repro.core.machine import Machine, simulate
 from repro.isa.opcodes import OpClass

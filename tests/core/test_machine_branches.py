@@ -3,7 +3,6 @@ penalty, recovery correctness, checkpoint pressure."""
 
 import dataclasses
 
-import pytest
 
 from repro.core.machine import Machine, simulate
 from repro.workloads import TraceBuilder

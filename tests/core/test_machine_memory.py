@@ -3,7 +3,6 @@ speculative scheduling with selective replay."""
 
 import dataclasses
 
-import pytest
 
 from repro.core.machine import simulate
 from repro.workloads import TraceBuilder

@@ -10,7 +10,7 @@ import dataclasses
 
 import pytest
 
-from repro.core.machine import Machine, simulate
+from repro.core.machine import simulate
 from repro.isa.values import MAX_UINT64, pack_fp
 from repro.workloads import TraceBuilder
 

@@ -11,8 +11,8 @@ import dataclasses
 
 import pytest
 
-from repro.core.machine import Machine, SimulationError, simulate
-from repro.workloads import TraceBuilder, generate_trace
+from repro.core.machine import Machine, simulate
+from repro.workloads import TraceBuilder
 
 _COLD = 0x4000_0000
 

@@ -1,6 +1,5 @@
 """Warmup (fast-forward stand-in) semantics."""
 
-import pytest
 
 from repro.core.machine import Machine, simulate
 from repro.workloads import generate_trace

@@ -1,6 +1,5 @@
 """Parallel experiment execution must be bit-identical to serial."""
 
-import pytest
 
 from repro.experiments.runner import RunSpec, TraceCache, run_matrix
 

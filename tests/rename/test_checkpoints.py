@@ -1,7 +1,6 @@
 """Checkpoint manager tests: dual-scope references, recovery, lazy
 patching."""
 
-import pytest
 
 from repro.isa.opcodes import RegClass
 from repro.rename.checkpoints import CheckpointManager

@@ -8,8 +8,6 @@ from repro.config import (
     EFFECTIVELY_INFINITE_REGS,
     PRF_SWEEP_SIZES,
     CheckpointPolicy,
-    MachineConfig,
-    PriConfig,
     WarPolicy,
     eight_wide,
     four_wide,

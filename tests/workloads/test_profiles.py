@@ -6,7 +6,6 @@ from repro.workloads.profiles import (
     ALL_BENCHMARKS,
     SPEC_FP,
     SPEC_INT,
-    BenchmarkProfile,
     get_profile,
     int_anchors,
 )
