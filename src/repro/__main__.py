@@ -41,6 +41,21 @@ def main(argv=None) -> int:
                         help="attach the machine invariant auditor "
                              "(repro.audit): bookkeeping corruption aborts "
                              "the run with a structured diagnostic")
+    parser.add_argument("--oracle", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="attach the golden-model differential oracle "
+                             "(repro.oracle): any committed value, branch "
+                             "outcome, or memory effect that diverges from "
+                             "in-order execution aborts the run with a "
+                             "structured OracleDivergence")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="snapshot the full machine state every N "
+                             "cycles; an interrupted run resumes from its "
+                             "last checkpoint on the next invocation")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="directory for checkpoint files "
+                             "(default: .repro-checkpoints)")
     parser.add_argument("--max-cycles", type=int, default=None, metavar="N",
                         help="abort if the run needs more than N cycles")
     parser.add_argument("--list", action="store_true",
@@ -59,6 +74,8 @@ def main(argv=None) -> int:
         config = config.with_phys_regs(args.regs)
     if args.audit:
         config = config.with_audit()
+    if args.oracle:
+        config = config.with_oracle()
 
     print(f"generating {args.benchmark!r}: {args.length} timed + "
           f"{args.warmup} warmup instructions (seed {args.seed})")
@@ -66,7 +83,27 @@ def main(argv=None) -> int:
                            warmup=args.warmup)
     start = time.time()
     try:
-        stats = simulate(config, trace, max_cycles=args.max_cycles)
+        if args.checkpoint_every:
+            from repro.config import config_digest
+            from repro.experiments.runner import RunSpec, _run_checkpointed
+
+            spec = RunSpec(
+                length=args.length, warmup=args.warmup, seed=args.seed,
+                max_cycles=args.max_cycles,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+            import os
+
+            path = os.path.join(
+                args.checkpoint_dir or ".repro-checkpoints",
+                f"{args.benchmark}-{args.scheme}-w{args.width}"
+                f"-n{args.length}-s{args.seed}"
+                f"-{config_digest(config)}.ckpt.json",
+            )
+            stats = _run_checkpointed(config, trace, path, spec)
+        else:
+            stats = simulate(config, trace, max_cycles=args.max_cycles)
     except SimulationError as err:
         print(f"simulation failed: {err}", file=sys.stderr)
         diagnostic = getattr(err, "diagnostic", None)
@@ -100,6 +137,11 @@ def main(argv=None) -> int:
               f"{stats.duplicate_deallocs} duplicate deallocations absorbed")
     if stats.audits:
         print(f"audit: {stats.audits} invariant audits, all clean")
+    if stats.oracle_commits:
+        print(f"oracle: {stats.oracle_commits} commits compared "
+              f"({stats.oracle_dest_checks} destinations observable, "
+              f"{stats.oracle_unobserved} already reclaimed), "
+              f"{stats.oracle_arch_checks} architectural sweeps, all clean")
     print(f"[{elapsed:.1f}s, {stats.cycles / max(elapsed, 1e-9):,.0f} cycles/s]")
     return 0
 

@@ -16,8 +16,12 @@ model and 10 bits for the 8-wide model.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
+from typing import Dict
 
 
 class WarPolicy(enum.Enum):
@@ -96,6 +100,30 @@ class AuditConfig:
 
 
 @dataclass(frozen=True)
+class OracleConfig:
+    """Golden-model differential oracle (see :mod:`repro.oracle`).
+
+    When enabled, a :class:`~repro.oracle.CommitOracle` is attached to the
+    machine: a small in-order ISA-level functional model executes the same
+    trace, and every retired instruction's destination value, branch
+    outcome, and memory effect is compared against the out-of-order
+    machine.  A divergence raises a structured
+    :class:`~repro.oracle.OracleDivergence` instead of letting a value
+    corruption (the Figure 6 WAR hazard) silently skew results.  This is
+    the *value-level* counterpart to :class:`AuditConfig`'s structural
+    invariants.
+    """
+
+    enabled: bool = False
+    #: Cycles between full architectural-state comparisons (every logical
+    #: register with no in-flight writer is checked against the golden
+    #: model).  0 disables the periodic sweep; per-commit checks still run.
+    interval: int = 512
+    #: Also run the architectural comparison from ``_finalize``.
+    final: bool = True
+
+
+@dataclass(frozen=True)
 class CacheConfig:
     """One cache level: size/assoc/line in bytes, hit latency in cycles."""
 
@@ -165,6 +193,7 @@ class MachineConfig:
     deadlock_cycles: int = 100_000
     pri: PriConfig = field(default_factory=PriConfig)
     audit: AuditConfig = field(default_factory=AuditConfig)
+    oracle: OracleConfig = field(default_factory=OracleConfig)
     #: Prior-work early release (Moudgill et al. [27]): complete flag +
     #: unmap flags + reader counter per physical register.
     early_release: bool = False
@@ -215,6 +244,11 @@ class MachineConfig:
         audit = replace(self.audit, enabled=True, **overrides)
         return replace(self, audit=audit)
 
+    def with_oracle(self, **overrides) -> "MachineConfig":
+        """Copy of this config with the golden-model oracle enabled."""
+        oracle = replace(self.oracle, enabled=True, **overrides)
+        return replace(self, oracle=oracle)
+
     def with_phys_regs(self, int_regs: int, fp_regs: int = None) -> "MachineConfig":
         """Copy with a different physical register file size (Figure 9)."""
         if fp_regs is None:
@@ -248,3 +282,63 @@ PRF_SWEEP_SIZES = (40, 48, 56, 64, 72, 80, 96)
 #: A register count large enough that the free list never empties in
 #: practice; used for the "Inf Physical Register" upper-bound runs.
 EFFECTIVELY_INFINITE_REGS = 4096
+
+
+# ===================================================== serialization
+
+def config_to_dict(config: MachineConfig) -> Dict:
+    """Canonical JSON-serializable form of a :class:`MachineConfig`.
+
+    Enums become their string values; nested dataclasses become nested
+    dicts.  Inverse of :func:`config_from_dict`; the canonical rendering
+    is what :func:`config_digest` hashes, so two configs digest equal iff
+    every simulation-relevant field matches.
+    """
+
+    def convert(value):
+        if isinstance(value, enum.Enum):
+            return value.value
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {
+                f.name: convert(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            }
+        return value
+
+    return convert(config)
+
+
+def config_from_dict(data: Dict) -> MachineConfig:
+    """Inverse of :func:`config_to_dict`.
+
+    Unknown keys raise ``TypeError`` (a digest mismatch would have caught
+    the incompatibility anyway); missing keys take the dataclass default,
+    so older snapshots load under a newer schema when fields only grew.
+    """
+    payload = dict(data)
+    pri = dict(payload.get("pri", {}))
+    if "war_policy" in pri:
+        pri["war_policy"] = WarPolicy(pri["war_policy"])
+    if "checkpoint_policy" in pri:
+        pri["checkpoint_policy"] = CheckpointPolicy(pri["checkpoint_policy"])
+    payload["pri"] = PriConfig(**pri)
+    payload["audit"] = AuditConfig(**payload.get("audit", {}))
+    payload["oracle"] = OracleConfig(**payload.get("oracle", {}))
+    payload["branch"] = BranchConfig(**payload.get("branch", {}))
+    memory = dict(payload.get("memory", {}))
+    for level in ("il1", "dl1", "l2"):
+        if level in memory:
+            memory[level] = CacheConfig(**memory[level])
+    payload["memory"] = MemoryConfig(**memory)
+    return MachineConfig(**payload)
+
+
+def config_digest(config: MachineConfig, length: int = 12) -> str:
+    """Short stable hex digest over every field of ``config``.
+
+    Used by the sweep journal's cell keys (two cells with different
+    machine configurations must never collide) and by snapshot/restore
+    (a checkpoint must only restore into the machine that wrote it).
+    """
+    canonical = json.dumps(config_to_dict(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:length]

@@ -169,14 +169,18 @@ class Machine:
         self._committed_target = 0
         self._last_commit_cycle = 0
 
-        # End-of-cycle hooks (fault injection, tracing, watchdogs) and
-        # the optional self-auditing invariant checker.
+        # End-of-cycle hooks (fault injection, tracing, watchdogs), the
+        # optional self-auditing invariant checker, and the optional
+        # golden-model differential oracle (built at reset, once the
+        # trace is known).
         self._cycle_hooks: List = []
         self.auditor = None
         if config.audit.enabled:
             from repro.audit.auditor import InvariantAuditor  # lazy: avoids cycle
 
             self.auditor = InvariantAuditor(config.audit)
+        self.oracle = None
+        self._cycle_limit = NEVER
 
         # Fetch state.
         self.trace: Optional[Trace] = None
@@ -201,8 +205,32 @@ class Machine:
         self._committed_target = target
         if target == 0:
             return self.stats
-        limit = max_cycles if max_cycles is not None else NEVER
+        self._cycle_limit = max_cycles if max_cycles is not None else NEVER
+        return self._run_loop()
+
+    def resume(self, max_cycles: Optional[int] = None) -> SimStats:
+        """Continue a run restored from a snapshot (see :meth:`restore`).
+
+        Runs until the original commit target, or ``max_cycles`` (an
+        *absolute* cycle number, like the limit given to :meth:`run`).
+        As with :meth:`run`, ``None`` means unbounded — a cycle limit the
+        snapshotted attempt ran under is not inherited.
+        """
+        if self.trace is None:
+            raise SimulationError(
+                "resume() requires a restored machine: call restore() first"
+            )
+        self._cycle_limit = max_cycles if max_cycles is not None else NEVER
+        if self.stats.committed >= self._committed_target:
+            self._finalize()
+            return self.stats
+        return self._run_loop()
+
+    def _run_loop(self) -> SimStats:
+        target = self._committed_target
+        limit = self._cycle_limit
         auditor = self.auditor
+        oracle = self.oracle
         deadlock_after = self.cfg.deadlock_cycles
         while self.stats.committed < target:
             if self.now >= limit:
@@ -220,6 +248,8 @@ class Machine:
                     hook(self)
             if auditor is not None:
                 auditor.maybe_check(self)
+            if oracle is not None:
+                oracle.maybe_check(self)
             if self.now - self._last_commit_cycle > deadlock_after:
                 head = repr(self.rob[0]) if self.rob else "rob empty"
                 raise SimulationError(
@@ -229,6 +259,22 @@ class Machine:
                 )
         self._finalize()
         return self.stats
+
+    def snapshot(self) -> dict:
+        """Versioned, pickle-free image of the full machine (and oracle)
+        state, suitable for ``json.dumps``.  See :mod:`repro.core.snapshot`."""
+        from repro.core.snapshot import take_snapshot  # lazy: avoids cycle
+
+        return take_snapshot(self)
+
+    def restore(self, data: dict, trace: Trace) -> "Machine":
+        """Install a :meth:`snapshot` image into this (freshly built,
+        never-run) machine.  ``trace`` must be the same trace the
+        snapshotted run used; continue with :meth:`resume`."""
+        from repro.core.snapshot import restore_snapshot  # lazy: avoids cycle
+
+        restore_snapshot(self, data, trace)
+        return self
 
     def add_cycle_hook(self, hook) -> None:
         """Register ``hook(machine)`` to run at the end of every cycle.
@@ -273,6 +319,10 @@ class Machine:
                 "(or use repro.simulate) for each trace"
             )
         self.trace = trace
+        if self.cfg.oracle.enabled:
+            from repro.oracle.golden import CommitOracle  # lazy: avoids cycle
+
+            self.oracle = CommitOracle(self.cfg.oracle, trace)
         self.warmup(trace)
         self._fetch_idx = 0
         self._fetch_buffer.clear()
@@ -300,6 +350,18 @@ class Machine:
                     table.set_pointer(lreg, _VID_FLAG + vid)
                 else:
                     table.set_pointer(lreg, preg)
+
+    def _value_fault(self, kind: str, reason: str, **fields) -> None:
+        """Raise a provable dataflow/WAR corruption.
+
+        With the golden-model oracle attached, the failure is reported as
+        a structured :class:`~repro.oracle.OracleDivergence` (trace index,
+        register, expected vs. actual, in-flight window); otherwise as a
+        plain :class:`SimulationError`, preserving historical behavior.
+        """
+        if self.oracle is not None:
+            raise self.oracle.divergence(self, kind, reason, **fields)
+        raise SimulationError(reason)
 
     def _new_vreg(self, reg_class: RegClass, owner) -> int:
         vid = self._next_vid
@@ -425,9 +487,16 @@ class Machine:
             entry = self.maps[cls].lookup(src.index)
             if entry.is_immediate:
                 if entry.value != src.expected_value:
-                    raise SimulationError(
+                    self._value_fault(
+                        "map-immediate",
                         f"map immediate corrupt for {src!r} at #{instr.seq}: "
-                        f"map={entry.value:#x} expected={src.expected_value:#x}"
+                        f"map={entry.value:#x} expected={src.expected_value:#x}",
+                        trace_index=instr.trace_idx,
+                        seq=instr.seq,
+                        reg_class=_CLASS_NAMES[cls],
+                        lreg=src.index,
+                        expected=src.expected_value,
+                        actual=entry.value,
                     )
                 instr.sources.append(
                     SourceRecord(SRC_IMM, cls, -1, -1, entry.value, counted=False)
@@ -435,13 +504,27 @@ class Machine:
                 continue
             preg = entry.value
             if preg < 0:
-                raise SimulationError(f"unmapped logical register in {src!r}")
+                self._value_fault(
+                    "arch-map",
+                    f"unmapped logical register in {src!r}",
+                    trace_index=instr.trace_idx,
+                    seq=instr.seq,
+                    reg_class=_CLASS_NAMES[cls],
+                    lreg=src.index,
+                )
             if preg >= _VID_FLAG:
                 # Virtual-physical mode: the source names a virtual tag.
                 v = self._vregs[preg - _VID_FLAG]
                 if v.value != src.expected_value and v.written:
-                    raise SimulationError(
-                        f"vtag table corrupt for {src!r} at #{instr.seq}"
+                    self._value_fault(
+                        "vtag",
+                        f"vtag table corrupt for {src!r} at #{instr.seq}",
+                        trace_index=instr.trace_idx,
+                        seq=instr.seq,
+                        reg_class=_CLASS_NAMES[cls],
+                        lreg=src.index,
+                        expected=src.expected_value,
+                        actual=v.value,
                     )
                 rec = SourceRecord(SRC_REG, cls, preg, 0, src.expected_value,
                                    counted=False)
@@ -560,9 +643,15 @@ class Machine:
                     rec.patch_to_immediate(rec.value)
                     finite_waits.append(now + self.cfg.war_replay_penalty)
                     continue
-                raise SimulationError(
+                self._value_fault(
+                    "war-select",
                     f"WAR violation: p{preg} reclaimed under "
-                    f"{self.cfg.pri.war_policy} before #{instr.seq} read it"
+                    f"{self.cfg.pri.war_policy} before #{instr.seq} read it",
+                    trace_index=instr.trace_idx,
+                    seq=instr.seq,
+                    reg_class=_CLASS_NAMES[rec.reg_class],
+                    preg=preg,
+                    expected=rec.value,
                 )
             ready = rf.ready_select[preg]
             if ready > now:
@@ -590,14 +679,25 @@ class Machine:
         could strand the in-order commit point without a register and
         deadlock the machine.  Denied instructions queue and are re-woken
         when a register of their class frees.
+
+        The reserve alone is not sufficient: it guarantees the oldest
+        unissued writer a register *once*, but nothing guarantees that
+        instruction's commit returns one (its previous mapping may have
+        been inline-freed long ago and re-consumed by younger writers),
+        so the *next* head writer can still face an empty free list that
+        will never refill.  When that happens the machine steals a
+        register back from the youngest issued writer (see
+        :meth:`_steal_preg`).
         """
         cls = instr.op.dest_class
         rf = self.rf[cls]
         free = len(rf.free_list)
         if free == 0 or (free == 1 and not self._oldest_unissued_writer(instr)):
-            self._preg_waiters[cls].append(instr)
-            instr.missing = 1
-            return False
+            if not (free == 0 and self._oldest_unissued_writer(instr)
+                    and self._steal_preg(cls, instr)):
+                self._preg_waiters[cls].append(instr)
+                instr.missing = 1
+                return False
         preg = rf.allocate(instr.op.dest, instr.seq, self.now)
         v = self._vregs[instr.dest_vid - _VID_FLAG]
         v.preg = preg
@@ -605,6 +705,43 @@ class Machine:
         instr.dest_preg = preg
         instr.dest_gen = rf.gen[preg]
         return True
+
+    def _steal_preg(self, cls: RegClass, thief: InFlight) -> bool:
+        """Deadlock backstop: reclaim the youngest issued, uncommitted
+        writer's physical register so the oldest writer can bind.
+
+        Safe under virtual-physical allocation because consumers read
+        values through the vtag table, never through the register file:
+        the victim's virtual register keeps its value and readiness, only
+        the physical backing store is surrendered (the hardware analogue
+        re-executes the victim; the timing model charges nothing extra,
+        which slightly flatters VP but keeps the run live and correct).
+        Committed mappings are never stolen — they live outside the ROB.
+        """
+        rf = self.rf[cls]
+        for victim in reversed(self.rob):
+            if (victim.squashed or victim.committed or not victim.issued
+                    or victim.seq <= thief.seq
+                    or victim.dest_preg < 0
+                    or victim.op.dest_class != cls):
+                continue
+            preg = victim.dest_preg
+            # The preg may already have been inline-freed at retire (and
+            # possibly re-allocated): only a live, generation-matching
+            # binding can be stolen.
+            if rf.is_free(preg) or not rf.gen_matches(preg, victim.dest_gen):
+                continue
+            victim.dest_preg = -1
+            v = self._vregs.get(victim.dest_vid - _VID_FLAG)
+            if v is not None and v.preg == preg:
+                v.preg = -1
+            # Release directly (not via _release_preg): the thief binds
+            # the register in the same cycle, so waking a parked waiter
+            # for it would only bounce that instruction off the reserve.
+            rf.release(preg, self.now, self.stats.lifetimes[_CLASS_NAMES[cls]])
+            self.stats.vp_steals += 1
+            return True
+        return False
 
     def _oldest_unissued_writer(self, instr: InFlight) -> bool:
         for entry in self.rob:
@@ -667,9 +804,15 @@ class Machine:
             if preg >= _VID_FLAG:
                 v = self._vregs.get(preg - _VID_FLAG)
                 if v is None or v.value != rec.value:
-                    raise SimulationError(
+                    self._value_fault(
+                        "vtag",
                         f"vtag dataflow corruption at #{instr.seq}: "
-                        f"expected {rec.value:#x}"
+                        f"expected {rec.value:#x}",
+                        trace_index=instr.trace_idx,
+                        seq=instr.seq,
+                        reg_class=_CLASS_NAMES[cls],
+                        expected=rec.value,
+                        actual=None if v is None else v.value,
                     )
                 rec.read_done = True
                 if v.preg >= 0:
@@ -680,14 +823,27 @@ class Machine:
                 if self._replay_war:
                     self._war_reissue(instr)
                     return
-                raise SimulationError(
+                self._value_fault(
+                    "war-read",
                     f"WAR violation at read: p{preg} reallocated before "
-                    f"#{instr.seq} read it (policy {self.cfg.pri.war_policy})"
+                    f"#{instr.seq} read it (policy {self.cfg.pri.war_policy})",
+                    trace_index=instr.trace_idx,
+                    seq=instr.seq,
+                    reg_class=_CLASS_NAMES[cls],
+                    preg=preg,
+                    expected=rec.value,
                 )
             if rf.value[preg] != rec.value:
-                raise SimulationError(
+                self._value_fault(
+                    "dataflow",
                     f"dataflow corruption: #{instr.seq} read {rf.value[preg]:#x} "
-                    f"from p{preg}, expected {rec.value:#x}"
+                    f"from p{preg}, expected {rec.value:#x}",
+                    trace_index=instr.trace_idx,
+                    seq=instr.seq,
+                    reg_class=_CLASS_NAMES[cls],
+                    preg=preg,
+                    expected=rec.value,
+                    actual=rf.value[preg],
                 )
             rec.read_done = True
             rf.read_stamp(preg, now)
@@ -727,12 +883,14 @@ class Machine:
         instr.completed = True
         instr.complete_cycle = now
         op = instr.op
+        if self._vp and instr.dest_vid >= 0:
+            # The vtag is the value's home: mark it written even when the
+            # physical backing store was stolen (dest_preg == -1).
+            self._vregs[instr.dest_vid - _VID_FLAG].written = True
         if instr.dest_preg >= 0:
             rf = self.rf[op.dest_class]
             rf.write(instr.dest_preg, op.result, now)
-            if self._vp:
-                self._vregs[instr.dest_vid - _VID_FLAG].written = True
-            elif self.cfg.pri.enabled:
+            if not self._vp and self.cfg.pri.enabled:
                 # Pin against ER release until the retire-stage PRI check.
                 rf.retire_pending[instr.dest_preg] = True
             if self.cfg.early_release:
@@ -897,6 +1055,7 @@ class Machine:
         budget = self.cfg.width
         now = self.now
         retire_offset = self.cfg.retire_offset
+        oracle = self.oracle
         while budget and self.rob:
             head = self.rob[0]
             if not head.completed or now < head.complete_cycle + retire_offset:
@@ -904,10 +1063,15 @@ class Machine:
             self.rob.popleft()
             head.committed = True
             op = head.op
+            if oracle is not None:
+                oracle.on_commit(self, head)
             if op.is_load or op.is_store:
                 self.lsq.remove(head)
                 if op.is_store:
-                    self.memory.store_access(op.mem_addr)
+                    addr = op.mem_addr
+                    self.memory.store_access(addr)
+                    if oracle is not None:
+                        oracle.on_store_commit(self, head, addr)
             if op.is_branch:
                 self.stats.branches += 1
                 # ER's unmap condition is commit-scoped: the shadow-copy
@@ -981,6 +1145,8 @@ class Machine:
         stats.l2_miss_rate = self.memory.l2.miss_rate
         if self.auditor is not None and self.cfg.audit.final:
             self.auditor.check(self, final=True)
+        if self.oracle is not None and self.cfg.oracle.final:
+            self.oracle.check_arch(self, final=True)
 
     # ====================================================== debug helpers
 

@@ -12,6 +12,7 @@ Gathers everything the paper's figures need:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -80,6 +81,9 @@ class SimStats:
     #: Virtual-physical mode: selects denied because no physical register
     #: was available to bind at issue.
     vp_alloc_stalls: int = 0
+    #: Virtual-physical deadlock backstop: registers reclaimed from the
+    #: youngest issued writer so the oldest writer could bind.
+    vp_steals: int = 0
 
     # PRI / ER counters
     inline_attempts: int = 0  # narrow results seen at retire
@@ -92,6 +96,12 @@ class SimStats:
 
     #: Invariant audits performed (0 unless ``MachineConfig.audit`` is on).
     audits: int = 0
+
+    # Golden-model oracle counters (0 unless ``MachineConfig.oracle`` on)
+    oracle_commits: int = 0  # retired instructions compared at commit
+    oracle_dest_checks: int = 0  # destination values actually observable
+    oracle_unobserved: int = 0  # dests already reclaimed/inlined at commit
+    oracle_arch_checks: int = 0  # full architectural-state comparisons
 
     # occupancy integrals (sum over cycles of allocated registers)
     occupancy_sum: Dict[str, int] = field(default_factory=lambda: {"int": 0, "fp": 0})
@@ -114,6 +124,20 @@ class SimStats:
 
     def lifetime(self, reg_class: str = "int") -> LifetimeStats:
         return self.lifetimes[reg_class]
+
+    def to_dict(self) -> Dict:
+        """Deep JSON-serializable form (journal cells, snapshots)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        payload["lifetimes"] = {
+            name: LifetimeStats(**fields)
+            for name, fields in payload.get("lifetimes", {}).items()
+        }
+        return cls(**payload)
 
     def summary(self) -> str:
         """One-paragraph human-readable digest."""

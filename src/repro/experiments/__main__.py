@@ -52,6 +52,19 @@ def main(argv=None) -> int:
                         default=False,
                         help="run every cell with the machine invariant "
                              "auditor attached (repro.audit)")
+    parser.add_argument("--oracle", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run every cell under the golden-model "
+                             "differential oracle (repro.oracle): value "
+                             "divergence at commit fails the cell loudly")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="snapshot each cell's machine state every N "
+                             "cycles so a crashed cell resumes "
+                             "mid-simulation on the next run")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="directory for cell checkpoint files "
+                             "(default: .repro-checkpoints)")
     parser.add_argument("--max-cycles", type=int, default=None, metavar="N",
                         help="per-cell cycle watchdog: fail a cell that "
                              "does not finish within N cycles")
@@ -76,7 +89,10 @@ def main(argv=None) -> int:
         parser.error("nothing to do: pass --all, --figure N, or --table N")
 
     spec = RunSpec(length=args.length, warmup=args.warmup, seed=args.seed,
-                   max_cycles=args.max_cycles, audit=args.audit)
+                   max_cycles=args.max_cycles, audit=args.audit,
+                   oracle=args.oracle,
+                   checkpoint_every=args.checkpoint_every,
+                   checkpoint_dir=args.checkpoint_dir)
     widths = (args.width,) if args.width else (4, 8)
     matrix_opts = {}
     if args.journal:

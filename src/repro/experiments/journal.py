@@ -1,13 +1,27 @@
 """On-disk sweep journal: resume interrupted figure/table runs.
 
 A :class:`SweepJournal` is a small JSON document mapping cell keys —
-``benchmark|scheme|width|run-spec`` — to either a serialized
-:class:`~repro.core.stats.SimStats` (completed cell) or a structured
-error record (failed cell).  :func:`~repro.experiments.runner.run_matrix`
-consults it before simulating each cell and appends to it as cells
-finish, so a sweep killed halfway (machine crash, OOM-killed worker,
-Ctrl-C) resumes from the completed cells instead of re-simulating them.
-Failed cells are *not* resumed — a re-run retries them.
+``benchmark|scheme|width|run-spec|config-digest`` — to either a
+serialized :class:`~repro.core.stats.SimStats` (completed cell) or a
+structured error record (failed cell).
+:func:`~repro.experiments.runner.run_matrix` consults it before
+simulating each cell and appends to it as cells finish, so a sweep
+killed halfway (machine crash, OOM-killed worker, Ctrl-C) resumes from
+the completed cells instead of re-simulating them.  Failed cells are
+*not* resumed — a re-run retries them.
+
+Cell keys embed a digest of the *full resolved*
+:class:`~repro.config.MachineConfig` (via
+:func:`~repro.config.config_digest`), not just the knobs named in the
+:class:`~repro.experiments.runner.RunSpec`: two cells that differ only
+in, say, physical register file size (the Figure 9 PRF sweep) or an
+inline-width override resolve to different keys and can never collide in
+one journal file.
+
+The document carries a schema version.  Loading a journal written by a
+different version raises by default; pass ``archive_incompatible=True``
+to move the old file aside (``<path>.v<N>.bak``) and restart fresh
+instead — the archived cells stay on disk for manual salvage.
 
 Writes are atomic (write-to-temp then :func:`os.replace`), so a crash
 mid-write never corrupts the journal.
@@ -15,39 +29,54 @@ mid-write never corrupts the journal.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 import tempfile
 from typing import Dict, Optional
 
-from repro.core.stats import LifetimeStats, SimStats
+from repro.config import MachineConfig, config_digest
+from repro.core.stats import SimStats
 
-_VERSION = 1
+_VERSION = 2
 
 
 def stats_to_dict(stats: SimStats) -> Dict:
     """JSON-serializable form of a :class:`SimStats` (deep)."""
-    return dataclasses.asdict(stats)
+    return stats.to_dict()
 
 
 def stats_from_dict(data: Dict) -> SimStats:
     """Inverse of :func:`stats_to_dict`."""
-    payload = dict(data)
-    payload["lifetimes"] = {
-        name: LifetimeStats(**fields)
-        for name, fields in payload.get("lifetimes", {}).items()
-    }
-    return SimStats(**payload)
+    return SimStats.from_dict(data)
 
 
-def cell_key(benchmark: str, scheme: str, width: int, spec) -> str:
+def cell_key(
+    benchmark: str,
+    scheme: str,
+    width: int,
+    spec,
+    config: Optional[MachineConfig] = None,
+) -> str:
     """Stable identity of one sweep cell.  Includes everything that
-    determines the simulation's outcome, so one journal file can safely
-    back multiple figures and run lengths."""
+    determines the simulation's outcome — the workload knobs from the
+    run spec plus a digest of the fully resolved machine config — so one
+    journal file can safely back multiple figures, run lengths, and
+    config sweeps (PRF sizes, width-bit overrides, ...).
+
+    ``config`` is the resolved :class:`~repro.config.MachineConfig` the
+    cell will simulate; when omitted it is re-derived from
+    ``(scheme, width, spec)`` exactly as
+    :func:`~repro.experiments.runner.run_one` derives it.
+    """
+    if config is None:
+        # Lazy: the runner imports this module.
+        from repro.experiments.runner import resolve_config
+
+        config = resolve_config(scheme, width, spec)
     return (
         f"{benchmark}|{scheme}|w{width}|n{spec.length}|u{spec.warmup}"
         f"|s{spec.seed}|c{spec.max_cycles or 0}|a{int(spec.audit)}"
+        f"|{config_digest(config)}"
     )
 
 
@@ -55,9 +84,11 @@ class SweepJournal:
     """Journal of completed/failed sweep cells, persisted after every
     update."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, archive_incompatible: bool = False) -> None:
         self.path = path
         self._cells: Dict[str, Dict] = {}
+        #: Path the incompatible predecessor was moved to, if any.
+        self.archived: Optional[str] = None
         if os.path.exists(path):
             with open(path) as handle:
                 try:
@@ -69,11 +100,17 @@ class SweepJournal:
                     ) from exc
             version = doc.get("version") if isinstance(doc, dict) else None
             if version != _VERSION:
-                raise ValueError(
-                    f"journal {path!r} has version {version}, "
-                    f"expected {_VERSION}"
-                )
-            self._cells = doc.get("cells", {})
+                if not archive_incompatible:
+                    raise ValueError(
+                        f"journal {path!r} has version {version}, expected "
+                        f"{_VERSION}; delete it, move it aside, or pass "
+                        f"archive_incompatible=True to archive it and start "
+                        f"a fresh sweep"
+                    )
+                self.archived = f"{path}.v{version}.bak"
+                os.replace(path, self.archived)
+            else:
+                self._cells = doc.get("cells", {})
 
     def __len__(self) -> int:
         return len(self._cells)

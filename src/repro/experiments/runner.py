@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
@@ -29,10 +30,11 @@ from repro.config import (
     CheckpointPolicy,
     MachineConfig,
     WarPolicy,
+    config_digest,
     eight_wide,
     four_wide,
 )
-from repro.core.machine import SimulationError, simulate
+from repro.core.machine import Machine, SimulationError, simulate
 from repro.core.stats import SimStats
 from repro.experiments.journal import SweepJournal, cell_key
 from repro.workloads import SPEC_FP, SPEC_INT, Trace, generate_trace
@@ -106,6 +108,93 @@ class RunSpec:
     #: (:mod:`repro.audit`); bookkeeping corruption then fails the cell
     #: loudly instead of skewing its results.
     audit: bool = False
+    #: Run every cell under the golden-model differential oracle
+    #: (:mod:`repro.oracle`); a committed value, branch outcome, or
+    #: memory effect that diverges from in-order execution fails the cell
+    #: with a structured :class:`~repro.oracle.OracleDivergence`.
+    oracle: bool = False
+    #: Snapshot the full machine state every N cycles
+    #: (:mod:`repro.core.snapshot`).  A cell that crashes mid-simulation
+    #: (OOM kill, power loss, Ctrl-C) resumes from its last checkpoint on
+    #: the next run instead of starting over; the checkpoint file is
+    #: removed once the cell completes.  None disables checkpointing.
+    checkpoint_every: Optional[int] = None
+    #: Directory for checkpoint files (created on demand).  Defaults to
+    #: ``.repro-checkpoints`` under the working directory.
+    checkpoint_dir: Optional[str] = None
+
+
+def resolve_config(scheme: str, width: int, spec: "RunSpec") -> MachineConfig:
+    """The fully resolved machine config one cell simulates: the Table 1
+    machine for ``width``, the scheme transformer, and the spec's audit /
+    oracle overlays.  This single resolution path feeds both
+    :func:`run_one` and the journal's cell keys, so a config change can
+    never reuse a stale journal entry."""
+    config = SCHEMES[scheme](width_config(width))
+    if spec.audit:
+        config = config.with_audit()
+    if spec.oracle:
+        config = config.with_oracle()
+    return config
+
+
+def checkpoint_path(benchmark: str, scheme: str, width: int, spec: RunSpec) -> str:
+    """Where :func:`run_one` keeps this cell's mid-run snapshot.  The
+    file name embeds the resolved config digest, so a stale checkpoint
+    from a differently configured run is never even opened."""
+    digest = config_digest(resolve_config(scheme, width, spec))
+    directory = spec.checkpoint_dir or ".repro-checkpoints"
+    return os.path.join(
+        directory,
+        f"{benchmark}-{scheme}-w{width}-n{spec.length}-s{spec.seed}"
+        f"-{digest}.ckpt.json",
+    )
+
+
+def _run_checkpointed(
+    config: MachineConfig, trace: Trace, path: str, spec: RunSpec
+) -> SimStats:
+    """Run one cell with periodic snapshots, resuming from ``path`` when
+    a compatible checkpoint survives a previous crashed attempt."""
+    from repro.core.snapshot import (  # lazy: optional machinery
+        SnapshotError,
+        load_snapshot,
+        restore_snapshot,
+        save_snapshot,
+        take_snapshot,
+    )
+
+    machine = Machine(config)
+    resumed = False
+    if os.path.exists(path):
+        try:
+            restore_snapshot(machine, load_snapshot(path), trace)
+            resumed = True
+        except (SnapshotError, KeyError, ValueError, OSError):
+            # Stale or corrupt checkpoint: start the cell from scratch.
+            machine = Machine(config)
+
+    interval = spec.checkpoint_every
+    directory = os.path.dirname(os.path.abspath(path))
+
+    def hook(m) -> None:
+        if m.now % interval == 0:
+            os.makedirs(directory, exist_ok=True)
+            tmp = f"{path}.tmp"
+            save_snapshot(take_snapshot(m), tmp)
+            os.replace(tmp, path)
+
+    machine.add_cycle_hook(hook)
+    if resumed:
+        stats = machine.resume(max_cycles=spec.max_cycles)
+    else:
+        stats = machine.run(trace, max_cycles=spec.max_cycles)
+    # Keep the checkpoint when the run stopped at the cycle limit short of
+    # the commit target — the caller's watchdog will fail the cell, and
+    # the next attempt resumes instead of restarting.
+    if stats.committed >= len(trace) and os.path.exists(path):
+        os.remove(path)
+    return stats
 
 
 class TraceCache:
@@ -137,18 +226,23 @@ def run_one(
 ) -> SimStats:
     """Simulate one (benchmark, scheme, width) cell.
 
-    Honors ``spec.audit`` (attach the invariant auditor) and
-    ``spec.max_cycles`` (deadlock watchdog: a cell that fails to finish
-    within the cycle budget raises :class:`SimulationError` rather than
-    returning silently-truncated statistics).
+    Honors ``spec.audit`` (attach the invariant auditor), ``spec.oracle``
+    (attach the golden-model differential oracle), ``spec.max_cycles``
+    (deadlock watchdog: a cell that fails to finish within the cycle
+    budget raises :class:`SimulationError` rather than returning
+    silently-truncated statistics), and ``spec.checkpoint_every``
+    (periodic machine snapshots; a crashed cell resumes mid-simulation
+    on the next attempt).
     """
     spec = spec or RunSpec()
     traces = traces or _GLOBAL_TRACES
-    config = SCHEMES[scheme](width_config(width))
-    if spec.audit:
-        config = config.with_audit()
+    config = resolve_config(scheme, width, spec)
     trace = traces.get(benchmark, spec)
-    stats = simulate(config, trace, max_cycles=spec.max_cycles)
+    if spec.checkpoint_every:
+        path = checkpoint_path(benchmark, scheme, width, spec)
+        stats = _run_checkpointed(config, trace, path, spec)
+    else:
+        stats = simulate(config, trace, max_cycles=spec.max_cycles)
     if spec.max_cycles is not None and stats.committed < len(trace):
         raise SimulationError(
             f"cycle-limit watchdog: {benchmark}/{scheme} committed only "

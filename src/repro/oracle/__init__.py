@@ -1,0 +1,51 @@
+"""Golden-model differential oracle and config×trace fuzzing.
+
+The machine's inline dataflow assertions and the structural auditor
+(:mod:`repro.audit`) each cover part of the correctness surface of
+aggressive register reclamation; this package covers the rest — *value
+correctness at commit*:
+
+* :class:`GoldenModel` — a small in-order ISA-level functional model
+  (no timing) that executes the same trace the out-of-order machine
+  runs, maintaining the committed architectural register state;
+* :class:`CommitOracle` — hooked into :class:`~repro.core.machine.Machine`
+  commit, it compares every retired instruction's destination value,
+  branch outcome, and memory effect against the golden model, plus a
+  periodic full architectural-state sweep.  Any divergence raises a
+  structured :class:`OracleDivergence` (trace index, logical/physical
+  register, expected vs. actual value, scheme, in-flight window) — the
+  value-level analogue of :class:`~repro.audit.AuditError`;
+* :mod:`repro.oracle.fuzz` — a seeded property-based harness that
+  samples random machine configurations (scheme × width × PRF size ×
+  WAR policy × inline-bit threshold) and workload profiles, runs them
+  under oracle + auditor, and shrinks any divergence to a minimal
+  on-disk reproducer spec.
+
+Enable via ``MachineConfig.with_oracle()`` or ``--oracle`` on either CLI.
+"""
+
+from repro.oracle.golden import CommitOracle, GoldenModel, OracleDivergence
+from repro.oracle.fuzz import (
+    FuzzFinding,
+    FuzzReport,
+    FuzzSpec,
+    fuzz,
+    replay_spec,
+    run_spec,
+    sample_spec,
+    shrink_spec,
+)
+
+__all__ = [
+    "CommitOracle",
+    "GoldenModel",
+    "OracleDivergence",
+    "FuzzFinding",
+    "FuzzReport",
+    "FuzzSpec",
+    "fuzz",
+    "replay_spec",
+    "run_spec",
+    "sample_spec",
+    "shrink_spec",
+]

@@ -1,0 +1,148 @@
+"""Snapshot/restore: a resumed run must be bit-identical to an
+uninterrupted one, and incompatible images must be rejected loudly."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import CheckpointPolicy, WarPolicy
+from repro.core.machine import Machine, SimulationError
+from repro.core.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    restore_snapshot,
+    take_snapshot,
+)
+from repro.workloads import generate_trace
+
+
+def _roundtrip(config, trace, at_cycle=500):
+    """Run uninterrupted; separately snapshot at ``at_cycle``, push the
+    image through real JSON, restore into a fresh machine, resume, and
+    return (reference stats, resumed stats)."""
+    machine = Machine(config)
+    captured = {}
+
+    def hook(m):
+        if m.now == at_cycle and not captured:
+            captured["data"] = json.loads(json.dumps(m.snapshot()))
+
+    machine.add_cycle_hook(hook)
+    reference = machine.run(trace)
+    assert captured, f"run finished before cycle {at_cycle}"
+    resumed = Machine(config).restore(captured["data"], trace).resume()
+    return reference, resumed
+
+
+_SCHEMES = {
+    "base": lambda c: c,
+    "ER": lambda c: dataclasses.replace(c, early_release=True),
+    "PRI-refcount+ckptcount": lambda c: c.with_pri(
+        WarPolicy.REFCOUNT, CheckpointPolicy.CKPTCOUNT
+    ),
+    "PRI-ideal+lazy": lambda c: c.with_pri(
+        WarPolicy.IDEAL, CheckpointPolicy.LAZY
+    ),
+    "PRI+ER": lambda c: dataclasses.replace(
+        c.with_pri(), early_release=True
+    ),
+    "VP": lambda c: dataclasses.replace(
+        c.with_pri(), virtual_physical=True
+    ),
+}
+
+
+@pytest.mark.parametrize("scheme", sorted(_SCHEMES))
+def test_resume_bit_identical(cfg4_real, gzip_trace, scheme):
+    config = _SCHEMES[scheme](cfg4_real)
+    reference, resumed = _roundtrip(config, gzip_trace)
+    assert resumed.to_dict() == reference.to_dict()
+
+
+def test_resume_bit_identical_with_checkers(cfg4_real, gzip_trace):
+    """Oracle and auditor state must survive the round-trip too: the
+    resumed run re-checks from the snapshot point, not from scratch."""
+    config = cfg4_real.with_pri().with_oracle(interval=64).with_audit(
+        interval=64
+    )
+    reference, resumed = _roundtrip(config, gzip_trace)
+    assert resumed.to_dict() == reference.to_dict()
+    assert resumed.oracle_commits == len(gzip_trace)
+    assert resumed.audits > 0
+
+
+def test_resume_bit_identical_8wide(cfg8_real, gzip_trace):
+    reference, resumed = _roundtrip(cfg8_real.with_pri(), gzip_trace)
+    assert resumed.to_dict() == reference.to_dict()
+
+
+def _snapshot_at(config, trace, at_cycle=300):
+    machine = Machine(config)
+    captured = {}
+
+    def hook(m):
+        if m.now == at_cycle and not captured:
+            captured["data"] = m.snapshot()
+
+    machine.add_cycle_hook(hook)
+    machine.run(trace)
+    return captured["data"]
+
+
+def test_snapshot_requires_running_machine(cfg4_real):
+    with pytest.raises(SnapshotError, match="not started"):
+        take_snapshot(Machine(cfg4_real))
+
+
+def test_version_mismatch_rejected(cfg4_real, gzip_trace):
+    data = _snapshot_at(cfg4_real, gzip_trace)
+    assert data["version"] == SNAPSHOT_VERSION
+    data["version"] = SNAPSHOT_VERSION + 1
+    with pytest.raises(SnapshotError, match="version"):
+        restore_snapshot(Machine(cfg4_real), data, gzip_trace)
+
+
+def test_config_mismatch_rejected(cfg4_real, gzip_trace):
+    data = _snapshot_at(cfg4_real, gzip_trace)
+    other = cfg4_real.with_phys_regs(96)
+    with pytest.raises(SnapshotError, match="config"):
+        restore_snapshot(Machine(other), data, gzip_trace)
+
+
+def test_trace_mismatch_rejected(cfg4_real, gzip_trace):
+    data = _snapshot_at(cfg4_real, gzip_trace)
+    other = generate_trace("gzip", 3000, seed=8, warmup=6000)
+    with pytest.raises(SnapshotError, match="trace"):
+        restore_snapshot(Machine(cfg4_real), data, other)
+
+
+def test_restore_requires_fresh_machine(cfg4_real, gzip_trace):
+    data = _snapshot_at(cfg4_real, gzip_trace)
+    used = Machine(cfg4_real)
+    used.run(gzip_trace)
+    with pytest.raises(SnapshotError, match="fresh"):
+        restore_snapshot(used, data, gzip_trace)
+
+
+def test_resume_without_restore_rejected(cfg4_real):
+    with pytest.raises(SimulationError, match="restore"):
+        Machine(cfg4_real).resume()
+
+
+def test_resume_ignores_stale_cycle_limit(cfg4_real, gzip_trace):
+    """A snapshot taken under a cycle watchdog must not truncate the
+    resumed run: resume(None) is unbounded, like run(None)."""
+    machine = Machine(cfg4_real)
+    captured = {}
+
+    def hook(m):
+        if m.now == 300 and not captured:
+            captured["data"] = m.snapshot()
+
+    machine.add_cycle_hook(hook)
+    truncated = machine.run(gzip_trace, max_cycles=400)
+    assert truncated.committed < len(gzip_trace)
+    reference = Machine(cfg4_real).run(gzip_trace)
+    resumed = Machine(cfg4_real).restore(captured["data"], gzip_trace).resume()
+    assert resumed.to_dict() == reference.to_dict()

@@ -1,0 +1,155 @@
+"""Checkpointed cell execution and the v2 journal: digest-bearing cell
+keys, schema-version enforcement, and crash-resume mid-simulation."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.experiments import RunSpec, SweepJournal, cell_key, run_one
+from repro.experiments.journal import _VERSION
+from repro.experiments.runner import (
+    _run_checkpointed,
+    checkpoint_path,
+    resolve_config,
+)
+from repro.workloads import generate_trace
+
+_SPEC = RunSpec(length=300, warmup=600, seed=2)
+_PRI = "PRI-refcount+ckptcount"
+
+
+# ----------------------------------------------------------- cell keys
+
+
+def test_cell_key_includes_config_digest():
+    key = cell_key("gzip", _PRI, 4, _SPEC)
+    digest = key.rsplit("|", 1)[1]
+    assert len(digest) == 12 and int(digest, 16) >= 0
+
+
+def test_cell_key_distinguishes_prf_size():
+    """The Figure 9 PRF sweep: same scheme/width/spec, different register
+    file — the keys must not collide."""
+    base = resolve_config(_PRI, 4, _SPEC)
+    small = base.with_phys_regs(40)
+    key_base = cell_key("gzip", _PRI, 4, _SPEC, config=base)
+    key_small = cell_key("gzip", _PRI, 4, _SPEC, config=small)
+    assert key_base != key_small
+    # ... and only in the digest: the readable prefix is identical.
+    assert key_base.rsplit("|", 1)[0] == key_small.rsplit("|", 1)[0]
+
+
+def test_cell_key_default_config_matches_run_one():
+    explicit = cell_key(
+        "gzip", _PRI, 4, _SPEC, config=resolve_config(_PRI, 4, _SPEC)
+    )
+    assert cell_key("gzip", _PRI, 4, _SPEC) == explicit
+
+
+def test_cell_key_reflects_oracle_flag():
+    with_oracle = dataclasses.replace(_SPEC, oracle=True)
+    assert cell_key("gzip", "base", 4, _SPEC) != cell_key(
+        "gzip", "base", 4, with_oracle
+    )
+
+
+# ------------------------------------------------------ journal version
+
+
+def test_journal_version_mismatch_raises(tmp_path):
+    path = str(tmp_path / "sweep.json")
+    with open(path, "w") as fh:
+        json.dump({"version": _VERSION - 1, "cells": {"k": {}}}, fh)
+    with pytest.raises(ValueError, match="version"):
+        SweepJournal(path)
+
+
+def test_journal_version_archive_and_restart(tmp_path):
+    path = str(tmp_path / "sweep.json")
+    with open(path, "w") as fh:
+        json.dump({"version": _VERSION - 1, "cells": {"k": {}}}, fh)
+    journal = SweepJournal(path, archive_incompatible=True)
+    assert journal.archived == f"{path}.v{_VERSION - 1}.bak"
+    assert os.path.exists(journal.archived)
+    assert len(journal) == 0
+    # the fresh journal is usable and persists at the new version
+    journal.record_error("k", {"kind": "crash"})
+    with open(path) as fh:
+        assert json.load(fh)["version"] == _VERSION
+
+
+def test_journal_current_version_loads_silently(tmp_path):
+    path = str(tmp_path / "sweep.json")
+    journal = SweepJournal(path)
+    journal.record_error("k", {"kind": "crash"})
+    reloaded = SweepJournal(path)
+    assert reloaded.archived is None
+    assert len(reloaded) == 1
+
+
+# ------------------------------------------------------- checkpointing
+
+
+def test_run_one_oracle_spec():
+    stats = run_one("gzip", "base", 4, dataclasses.replace(_SPEC, oracle=True))
+    assert stats.committed == 300
+    assert stats.oracle_commits == 300
+
+
+def test_checkpointed_run_matches_plain(tmp_path):
+    plain = run_one("gzip", _PRI, 4, _SPEC)
+    spec = dataclasses.replace(
+        _SPEC, checkpoint_every=200, checkpoint_dir=str(tmp_path)
+    )
+    checkpointed = run_one("gzip", _PRI, 4, spec)
+    assert checkpointed.to_dict() == plain.to_dict()
+    # a completed cell leaves no checkpoint behind
+    assert not os.path.exists(checkpoint_path("gzip", _PRI, 4, spec))
+
+
+def test_crashed_cell_resumes_from_checkpoint(tmp_path):
+    """A cell killed mid-run leaves its last checkpoint on disk; the next
+    attempt resumes from it and produces bit-identical statistics."""
+    spec = dataclasses.replace(
+        _SPEC, checkpoint_every=150, checkpoint_dir=str(tmp_path)
+    )
+    config = resolve_config(_PRI, 4, spec)
+    trace = generate_trace("gzip", spec.length, seed=spec.seed,
+                           warmup=spec.warmup)
+    path = checkpoint_path("gzip", _PRI, 4, spec)
+
+    # "crash" the first attempt with a tight cycle watchdog
+    truncated = _run_checkpointed(
+        config, trace, path, dataclasses.replace(spec, max_cycles=200)
+    )
+    assert truncated.committed < 300
+    assert os.path.exists(path), "checkpoint must survive a failed attempt"
+
+    resumed = _run_checkpointed(config, trace, path, spec)
+    plain = run_one("gzip", _PRI, 4, _SPEC)
+    assert resumed.to_dict() == plain.to_dict()
+    assert not os.path.exists(path)
+
+
+def test_stale_checkpoint_is_ignored(tmp_path):
+    """A checkpoint from a different config/trace must not poison the
+    run: it is discarded and the cell starts over."""
+    spec = dataclasses.replace(
+        _SPEC, checkpoint_every=150, checkpoint_dir=str(tmp_path)
+    )
+    path = checkpoint_path("gzip", _PRI, 4, spec)
+    os.makedirs(str(tmp_path), exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write('{"version": 999}')
+    stats = run_one("gzip", _PRI, 4, spec)
+    assert stats.to_dict() == run_one("gzip", _PRI, 4, _SPEC).to_dict()
+
+
+def test_checkpoint_path_embeds_config_digest(tmp_path):
+    spec = dataclasses.replace(_SPEC, checkpoint_dir=str(tmp_path))
+    with_oracle = dataclasses.replace(spec, oracle=True)
+    assert checkpoint_path("gzip", _PRI, 4, spec) != checkpoint_path(
+        "gzip", _PRI, 4, with_oracle
+    )

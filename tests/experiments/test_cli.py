@@ -30,3 +30,28 @@ def test_single_figure_tiny(capsys):
 def test_rejects_unknown_figure():
     with pytest.raises(SystemExit):
         main(["--figure", "3"])  # Figure 3 is a structural diagram
+
+
+def test_figure_with_oracle_and_checkpoints(tmp_path, capsys):
+    import os
+
+    code = main(["--figure", "1", "--length", "120", "--warmup", "300",
+                 "--width", "4", "--oracle",
+                 "--checkpoint-every", "500",
+                 "--checkpoint-dir", str(tmp_path)])
+    assert code == 0
+    assert "Figure 1" in capsys.readouterr().out
+    assert not os.listdir(str(tmp_path)), "completed cells left checkpoints"
+
+
+def test_incompatible_journal_is_reported(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "sweep.json")
+    with open(path, "w") as fh:
+        json.dump({"version": 1, "cells": {}}, fh)
+    code = main(["--figure", "1", "--length", "120", "--warmup", "300",
+                 "--width", "4", "--journal", path])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "version" in err

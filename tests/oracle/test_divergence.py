@@ -1,0 +1,85 @@
+"""Injected corruptions under the oracle: every PR-1 fault class must be
+caught, and value-corrupting faults must surface as structured
+OracleDivergence even with the invariant auditor disabled."""
+
+import pytest
+
+from repro.audit import FAULTS, AuditError, run_with_fault
+from repro.core.machine import Machine, SimulationError
+from repro.experiments.runner import SCHEMES
+from repro.oracle import OracleDivergence
+
+
+@pytest.mark.parametrize("name", sorted(FAULTS))
+def test_fault_caught_under_oracle_and_audit(cfg4, gzip_trace, name):
+    """Acceptance: each injected fault class, run with the oracle
+    attached, is caught by the oracle or the auditor (never escapes)."""
+    fault = FAULTS[name]
+    needs_refs = name in (
+        "refcount-leak", "refcount-drop", "war-release", "stale-checkpoint",
+    )
+    scheme = "PRI+ER" if needs_refs else "base"
+    config = SCHEMES[scheme](cfg4).with_oracle(interval=64)
+    err = run_with_fault(config, gzip_trace, fault)
+    # run_with_fault returns the AuditError; an OracleDivergence (also a
+    # SimulationError) would propagate out of it — both count as caught,
+    # and neither may escape (FaultNotCaught would fail the test).
+    assert isinstance(err, (AuditError, OracleDivergence))
+
+
+def _run_oracle_only(config, trace, fault, at_cycle=50, max_cycles=50_000):
+    """Fault-injection harness with the auditor *off*: only the golden
+    model stands between the corruption and a silently wrong run."""
+    machine = Machine(config.with_oracle(interval=32))
+    applied = []
+
+    def hook(m):
+        if not applied and m.now >= at_cycle:
+            detail = fault.apply(m)
+            if detail is not None:
+                applied.append((m.now, detail))
+
+    machine.add_cycle_hook(hook)
+    with pytest.raises(OracleDivergence) as excinfo:
+        machine.run(trace, max_cycles=max_cycles)
+    assert applied, "fault never became applicable"
+    return excinfo.value
+
+
+def test_war_release_diverges_oracle_only(cfg4, gzip_trace):
+    """The paper's Figure 6 WAR violation: reclaiming a register under
+    outstanding consumers is a *value* bug, and the oracle pins it to
+    the offending trace index."""
+    # at_cycle picked so the reclaimed register is re-allocated before
+    # the stranded consumer reads it (otherwise the corruption stays
+    # architecturally invisible and the run is legitimately clean).
+    err = _run_oracle_only(
+        SCHEMES["PRI+ER"](cfg4), gzip_trace, FAULTS["war-release"],
+        at_cycle=100,
+    )
+    diag = err.diagnostic
+    assert diag["kind"]
+    assert diag["trace_index"] is not None and diag["trace_index"] >= 0
+    assert diag["scheme"]
+    assert isinstance(diag["inflight"], tuple) and len(diag["inflight"]) == 3
+
+
+def test_map_corrupt_diverges_oracle_only(cfg4, gzip_trace):
+    err = _run_oracle_only(
+        SCHEMES["base"](cfg4), gzip_trace, FAULTS["map-corrupt"],
+        at_cycle=400,
+    )
+    diag = err.diagnostic
+    assert diag["kind"]
+    assert diag["trace_index"] is not None and diag["trace_index"] >= 0
+    assert diag["reg_class"] == "int"
+    assert diag["lreg"] is not None
+
+
+def test_oracle_divergence_is_simulation_error(cfg4, gzip_trace):
+    """Callers that only know SimulationError still see the failure."""
+    err = _run_oracle_only(
+        SCHEMES["base"](cfg4), gzip_trace, FAULTS["map-corrupt"],
+        at_cycle=400,
+    )
+    assert isinstance(err, SimulationError)

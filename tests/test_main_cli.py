@@ -42,3 +42,34 @@ def test_regs_override(capsys):
 def test_unknown_scheme_rejected():
     with pytest.raises(SystemExit):
         main(["gzip", "--scheme", "magic"])
+
+
+def test_oracle_run_reports_oracle_stats(capsys):
+    code = main(["gzip", "--length", "300", "--warmup", "600", "--oracle"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "oracle:" in out and "all clean" in out
+    assert "300 commits compared" in out
+
+
+def test_no_oracle_is_default(capsys):
+    code = main(["gzip", "--length", "300", "--warmup", "600",
+                 "--no-oracle"])
+    assert code == 0
+    assert "oracle:" not in capsys.readouterr().out
+
+
+def test_checkpointed_run(tmp_path, capsys):
+    import os
+
+    args = ["gzip", "--length", "300", "--warmup", "600",
+            "--checkpoint-every", "200", "--checkpoint-dir", str(tmp_path)]
+    assert main(args) == 0
+    checkpointed = capsys.readouterr().out
+    assert "ipc=" in checkpointed
+    assert not os.listdir(str(tmp_path)), "completed run left a checkpoint"
+    # identical to the plain run: checkpointing must not perturb results
+    assert main(["gzip", "--length", "300", "--warmup", "600"]) == 0
+    plain = capsys.readouterr().out
+    line = next(l for l in checkpointed.splitlines() if "ipc=" in l)
+    assert line in plain
