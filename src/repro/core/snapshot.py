@@ -31,7 +31,7 @@ machine.
 
 from __future__ import annotations
 
-import json
+import os
 from collections import deque
 from typing import Dict, List
 
@@ -588,14 +588,29 @@ def restore_snapshot(machine, data: Dict, trace: Trace) -> None:
 
 # ================================================================= file I/O
 
+#: Artifact kind tag of snapshot files in the store envelope.
+SNAPSHOT_KIND = "machine-snapshot"
+
 
 def save_snapshot(data: Dict, path) -> None:
-    """Write a snapshot image to ``path`` as compact JSON."""
-    with open(path, "w") as fh:
-        json.dump(data, fh, separators=(",", ":"))
+    """Atomically write a snapshot image to ``path`` inside the store's
+    checksummed envelope (:mod:`repro.store`): a crash mid-write leaves
+    the previous checkpoint intact, and any later corruption of the file
+    is detected at load time instead of resuming a subtly wrong
+    machine."""
+    from repro.store import write_json_artifact  # lazy: optional machinery
+
+    write_json_artifact(os.fspath(path), SNAPSHOT_KIND, SNAPSHOT_VERSION, data)
 
 
 def load_snapshot(path) -> Dict:
-    """Read a snapshot image written by :func:`save_snapshot`."""
-    with open(path) as fh:
-        return json.load(fh)
+    """Read a snapshot image written by :func:`save_snapshot`.
+
+    Reads both the checksummed envelope and legacy plain-JSON images;
+    damage raises a typed :class:`~repro.store.errors.ArtifactError`
+    (the schema-version check itself stays in :func:`restore_snapshot`,
+    which also validates config and trace identity)."""
+    from repro.store import read_json_artifact  # lazy: optional machinery
+
+    data, _meta = read_json_artifact(os.fspath(path), SNAPSHOT_KIND)
+    return data

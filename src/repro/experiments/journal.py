@@ -1,6 +1,6 @@
 """On-disk sweep journal: resume interrupted figure/table runs.
 
-A :class:`SweepJournal` is a small JSON document mapping cell keys —
+A :class:`SweepJournal` maps cell keys —
 ``benchmark|scheme|width|run-spec|config-digest`` — to either a
 serialized :class:`~repro.core.stats.SimStats` (completed cell) or a
 structured error record (failed cell).
@@ -18,26 +18,46 @@ in, say, physical register file size (the Figure 9 PRF sweep) or an
 inline-width override resolve to different keys and can never collide in
 one journal file.
 
-The document carries a schema version.  Loading a journal written by a
-different version raises by default; pass ``archive_incompatible=True``
-to move the old file aside (``<path>.v<N>.bak``) and restart fresh
-instead — the archived cells stay on disk for manual salvage.
+On-disk format (version 3) — **append-style checksummed lines** via
+:mod:`repro.store`: one header record followed by one record per
+finished cell, each line independently framed as
+``<sha256-16hex> <json>`` and fsynced as it is appended.  Recording a
+cell therefore costs O(1) I/O (the v2 journal rewrote the whole
+document per cell), a crash mid-append damages at most the final line
+(the *torn tail*, salvaged automatically on the next load), and any
+byte of silent corruption is detected by a line digest.  A later
+record for the same key supersedes the earlier one, which is how
+re-runs heal failed cells.  Interior corruption — damage before the
+last line — raises :class:`~repro.store.errors.DigestMismatch` and is
+repairable with ``python -m repro.store fsck --repair`` (the valid
+prefix is salvaged).
 
-Writes are atomic (write-to-temp then :func:`os.replace`), so a crash
-mid-write never corrupts the journal.
+The header record carries a schema version.  Loading a journal written
+by a different version (including the v1/v2 whole-document JSON
+formats) raises by default; pass ``archive_incompatible=True`` to move
+the old file aside (``<path>.v<N>.bak``) and restart fresh instead —
+the archived cells stay on disk for manual salvage.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import tempfile
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.config import MachineConfig, config_digest
 from repro.core.stats import SimStats
+from repro.store.atomic import atomic_writer, fsync_file
+from repro.store.errors import DigestMismatch, MalformedRecord
+from repro.store.integrity import (
+    checked_line,
+    read_checked_lines,
+)
 
-_VERSION = 2
+_VERSION = 3
+
+#: ``format`` tag of the journal header record (fsck's sniffing key).
+JOURNAL_FORMAT = "repro-sweep-journal"
 
 
 def stats_to_dict(stats: SimStats) -> Dict:
@@ -80,37 +100,117 @@ def cell_key(
     )
 
 
+def _header_record() -> Dict:
+    return {"format": JOURNAL_FORMAT, "version": _VERSION}
+
+
 class SweepJournal:
-    """Journal of completed/failed sweep cells, persisted after every
-    update."""
+    """Journal of completed/failed sweep cells, persisted (appended and
+    fsynced) after every update."""
 
     def __init__(self, path: str, archive_incompatible: bool = False) -> None:
         self.path = path
         self._cells: Dict[str, Dict] = {}
         #: Path the incompatible predecessor was moved to, if any.
         self.archived: Optional[str] = None
+        #: ``(line, reason)`` of a torn tail dropped at load, if any.
+        self.salvaged: Optional[Tuple[int, str]] = None
+        self._initialized = False
         if os.path.exists(path):
-            with open(path) as handle:
-                try:
-                    doc = json.load(handle)
-                except json.JSONDecodeError as exc:
-                    raise ValueError(
-                        f"journal {path!r} is not valid JSON ({exc}); "
-                        "delete or move it to start a fresh sweep"
-                    ) from exc
-            version = doc.get("version") if isinstance(doc, dict) else None
-            if version != _VERSION:
-                if not archive_incompatible:
-                    raise ValueError(
-                        f"journal {path!r} has version {version}, expected "
-                        f"{_VERSION}; delete it, move it aside, or pass "
-                        f"archive_incompatible=True to archive it and start "
-                        f"a fresh sweep"
-                    )
-                self.archived = f"{path}.v{version}.bak"
-                os.replace(path, self.archived)
-            else:
-                self._cells = doc.get("cells", {})
+            self._load(path, archive_incompatible)
+
+    # ------------------------------------------------------------ load
+
+    def _load(self, path: str, archive_incompatible: bool) -> None:
+        with open(path, "rb") as handle:
+            head = handle.read(64).lstrip()
+        if head.startswith(b"{"):
+            self._load_legacy_document(path, archive_incompatible)
+            return
+        result = read_checked_lines(path)
+        if not result.records:
+            if result.total_lines == 0 or (result.bad_line == 1
+                                           and result.torn_tail):
+                # Empty file or a crash while the header was being
+                # written: nothing recorded yet, start fresh.
+                return
+            raise MalformedRecord(
+                f"journal header line is damaged "
+                f"({result.bad_reason}); run "
+                f"`python -m repro.store fsck --repair` or delete it",
+                path=path, kind="sweep-journal", line=result.bad_line,
+            )
+        header = result.records[0]
+        if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+            raise MalformedRecord(
+                "first record is not a sweep-journal header",
+                path=path, kind="sweep-journal", line=1,
+            )
+        version = header.get("version")
+        if version != _VERSION:
+            if not archive_incompatible:
+                raise ValueError(
+                    f"journal {path!r} has version {version}, expected "
+                    f"{_VERSION}; delete it, move it aside, or pass "
+                    f"archive_incompatible=True to archive it and start "
+                    f"a fresh sweep"
+                )
+            self._archive(path, version)
+            return
+        if not result.clean and not result.torn_tail:
+            raise DigestMismatch(
+                f"journal record is damaged before the final line "
+                f"({result.bad_reason}); the valid prefix "
+                f"({len(result.records) - 1} cell records) is salvageable "
+                f"with `python -m repro.store fsck --repair`",
+                path=path, kind="sweep-journal", line=result.bad_line,
+            )
+        for record in result.records[1:]:
+            if (
+                not isinstance(record, dict)
+                or "key" not in record
+                or "cell" not in record
+            ):
+                raise MalformedRecord(
+                    "journal record lacks key/cell fields",
+                    path=path, kind="sweep-journal",
+                )
+            self._cells[record["key"]] = record["cell"]
+        self._initialized = True
+        if not result.clean:  # torn tail: drop it from disk too
+            self.salvaged = (result.bad_line, result.bad_reason)
+            self._rewrite()
+
+    def _load_legacy_document(self, path: str, archive_incompatible: bool) -> None:
+        """A v1/v2 whole-document JSON journal: incompatible by
+        construction (v3 is the line format), so apply the standard
+        archive-or-raise policy; corrupt JSON is typed, never a bare
+        ``json.JSONDecodeError``."""
+        with open(path, encoding="utf-8") as handle:
+            try:
+                doc = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise MalformedRecord(
+                    f"journal is not valid JSON ({exc}); run "
+                    f"`python -m repro.store fsck --repair` to quarantine "
+                    f"it, or delete it to start a fresh sweep",
+                    path=path, kind="sweep-journal",
+                ) from exc
+        version = doc.get("version") if isinstance(doc, dict) else None
+        if not archive_incompatible:
+            raise ValueError(
+                f"journal {path!r} has version {version}, expected "
+                f"{_VERSION}; delete it, move it aside, or pass "
+                f"archive_incompatible=True to archive it and start "
+                f"a fresh sweep"
+            )
+        self._archive(path, version)
+
+    def _archive(self, path: str, version) -> None:
+        self.archived = f"{path}.v{version}.bak"
+        os.replace(path, self.archived)
+
+    # --------------------------------------------------------- queries
 
     def __len__(self) -> int:
         return len(self._cells)
@@ -126,14 +226,6 @@ class SweepJournal:
             return None
         return stats_from_dict(cell["stats"])
 
-    def record_ok(self, key: str, stats: SimStats) -> None:
-        self._cells[key] = {"status": "ok", "stats": stats_to_dict(stats)}
-        self._flush()
-
-    def record_error(self, key: str, error: Dict) -> None:
-        self._cells[key] = {"status": "error", "error": error}
-        self._flush()
-
     def errors(self) -> Dict[str, Dict]:
         """key -> error record for every failed cell still journaled."""
         return {
@@ -142,16 +234,28 @@ class SweepJournal:
             if cell.get("status") == "error"
         }
 
-    def _flush(self) -> None:
-        doc = {"version": _VERSION, "cells": self._cells}
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".journal.tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(doc, handle, indent=1)
-            os.replace(tmp, self.path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+    # --------------------------------------------------------- updates
+
+    def record_ok(self, key: str, stats: SimStats) -> None:
+        self._record(key, {"status": "ok", "stats": stats_to_dict(stats)})
+
+    def record_error(self, key: str, error: Dict) -> None:
+        self._record(key, {"status": "error", "error": error})
+
+    def _record(self, key: str, cell: Dict) -> None:
+        self._cells[key] = cell
+        if not self._initialized:
+            self._rewrite()
+            return
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(checked_line({"key": key, "cell": cell}))
+            fsync_file(handle)
+
+    def _rewrite(self) -> None:
+        """Atomically (re)write the whole journal: first record, or
+        compaction after a salvage."""
+        with atomic_writer(self.path) as handle:
+            handle.write(checked_line(_header_record()))
+            for key, cell in self._cells.items():
+                handle.write(checked_line({"key": key, "cell": cell}))
+        self._initialized = True

@@ -164,25 +164,31 @@ def _run_checkpointed(
         take_snapshot,
     )
 
+    from repro.store import ArtifactError, SchemaMismatch, quarantine_path
+
     machine = Machine(config)
     resumed = False
     if os.path.exists(path):
         try:
             restore_snapshot(machine, load_snapshot(path), trace)
             resumed = True
-        except (SnapshotError, KeyError, ValueError, OSError):
-            # Stale or corrupt checkpoint: start the cell from scratch.
+        except (SchemaMismatch, SnapshotError, KeyError, ValueError, OSError) as exc:
+            # Stale or incompatible checkpoint: start the cell from
+            # scratch (ArtifactError is a ValueError, so order matters —
+            # corruption is handled below, incompatibility here).
+            if isinstance(exc, ArtifactError) and not isinstance(exc, SchemaMismatch):
+                # Corrupt bytes, not schema drift: move the evidence
+                # aside so the next attempt does not trip over it again.
+                quarantine_path(path)
             machine = Machine(config)
 
     interval = spec.checkpoint_every
-    directory = os.path.dirname(os.path.abspath(path))
 
     def hook(m) -> None:
         if m.now % interval == 0:
-            os.makedirs(directory, exist_ok=True)
-            tmp = f"{path}.tmp"
-            save_snapshot(take_snapshot(m), tmp)
-            os.replace(tmp, path)
+            # save_snapshot is atomic and durable (repro.store): a crash
+            # at any instant leaves the previous checkpoint intact.
+            save_snapshot(take_snapshot(m), path)
 
     machine.add_cycle_hook(hook)
     if resumed:

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import os
 import random
 import sys
@@ -308,25 +307,35 @@ def _signature(result: Dict) -> tuple:
 # =========================================================== reproducers
 
 
+#: Artifact kind tag of reproducer specs in the store envelope.
+REPRODUCER_KIND = "fuzz-reproducer"
+
+
 def write_reproducer(spec: FuzzSpec, result: Dict, path: str) -> str:
-    """Write a self-contained reproducer spec (JSON) to ``path``."""
+    """Atomically write a self-contained reproducer spec to ``path``
+    inside the store's checksummed envelope (:mod:`repro.store`) — a
+    reproducer that survives a crash half-written is worse than none,
+    since it would replay a different failure than it records."""
+    from repro.store import write_json_artifact  # lazy: keeps import light
+
     payload = {
         "version": REPRODUCER_VERSION,
         "spec": spec.to_dict(),
         "result": result,
     }
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_json_artifact(path, REPRODUCER_KIND, REPRODUCER_VERSION, payload)
     return path
 
 
 def load_reproducer(path: str) -> Dict:
-    with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
-    version = payload.get("version")
+    """Read a reproducer spec (enveloped, or legacy plain JSON).
+    Corruption raises a typed
+    :class:`~repro.store.errors.ArtifactError`; a reproducer from a
+    different schema version raises :class:`ValueError`."""
+    from repro.store import read_json_artifact  # lazy: keeps import light
+
+    payload, _meta = read_json_artifact(path, REPRODUCER_KIND)
+    version = payload.get("version") if isinstance(payload, dict) else None
     if version != REPRODUCER_VERSION:
         raise ValueError(
             f"reproducer {path!r} has version {version!r}, "

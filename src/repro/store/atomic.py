@@ -1,0 +1,119 @@
+"""Crash-safe file replacement and quarantine.
+
+One implementation of write-to-temp + fsync + :func:`os.replace` +
+directory fsync, shared by every artifact producer (traces, snapshots,
+journals, reproducers) — previously `runner.py`, `snapshot.py`, and
+`journal.py` each had an ad-hoc copy, none of which fsynced, so the
+"atomic" rename could still land an empty or partial file after a power
+cut (the rename is durable before the data on many filesystems).
+
+The contract: after :func:`atomic_write_bytes` (or the
+:func:`atomic_writer` context) returns, a crash at *any* point leaves
+either the complete new file or the complete previous one — never a
+mix, never a truncation.  The temp file is created in the destination
+directory (same filesystem, so ``os.replace`` is atomic) with a
+``.tmp`` suffix that :mod:`repro.store.fsck` recognizes as a
+concurrent-writer leftover and cleans up.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import Iterator, Union
+
+#: Suffix of in-flight temp files; fsck treats ``*<TMP_SUFFIX>`` as
+#: abandoned writer state, safe to delete.
+TMP_SUFFIX = ".tmp"
+
+
+def fsync_dir(directory: str) -> None:
+    """Flush a directory's entry table so a just-renamed file survives a
+    crash.  A no-op on platforms that cannot open directories."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # e.g. directories are not fsyncable on this OS/filesystem
+    finally:
+        os.close(fd)
+
+
+def fsync_file(handle) -> None:
+    """Flush one open file handle to stable storage."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def atomic_write_bytes(path: str, data: bytes, *, durable: bool = True) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    ``durable=False`` skips the fsyncs (atomic against concurrent
+    readers but not against power loss) — useful in tests and for
+    throwaway output.
+    """
+    with atomic_writer(path, binary=True, durable=durable) as handle:
+        handle.write(data)
+
+
+def atomic_write_text(
+    path: str, text: str, *, encoding: str = "utf-8", durable: bool = True
+) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding), durable=durable)
+
+
+@contextlib.contextmanager
+def atomic_writer(
+    path: Union[str, os.PathLike],
+    *,
+    binary: bool = False,
+    encoding: str = "utf-8",
+    durable: bool = True,
+) -> Iterator:
+    """Context manager yielding a temp-file handle; on clean exit the
+    temp file is fsynced and renamed over ``path`` (and the directory
+    fsynced), on exception it is removed and ``path`` is untouched."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=TMP_SUFFIX
+    )
+    try:
+        mode = "wb" if binary else "w"
+        kwargs = {} if binary else {"encoding": encoding}
+        with os.fdopen(fd, mode, **kwargs) as handle:
+            yield handle
+            if durable:
+                fsync_file(handle)
+        os.replace(tmp, path)
+        if durable:
+            fsync_dir(directory)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def quarantine_path(path: str) -> str:
+    """Move a corrupt artifact into ``<path>.quarantine/`` (created on
+    demand) instead of deleting it, so the evidence survives for
+    post-mortem while sweeps stop tripping over it.  Returns the new
+    location; repeated quarantines of the same name get ``.1``, ``.2``
+    ... suffixes."""
+    directory = path + ".quarantine"
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.basename(path)
+    dest = os.path.join(directory, base)
+    counter = 0
+    while os.path.exists(dest):
+        counter += 1
+        dest = os.path.join(directory, f"{base}.{counter}")
+    os.replace(path, dest)
+    fsync_dir(os.path.dirname(os.path.abspath(path)))
+    return dest

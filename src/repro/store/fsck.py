@@ -1,0 +1,339 @@
+"""``fsck`` for the artifact store: scan, verify, repair.
+
+Walks a results/checkpoint/journal tree, recognizes every artifact kind
+the simulator persists (traces v1/v2, machine snapshots, sweep
+journals, fuzz reproducers — plus abandoned ``*.tmp`` files from
+interrupted atomic writers), verifies each one's integrity framing, and
+reports structured findings.  In repair mode it
+
+* deletes concurrent-writer leftovers (``*.tmp``),
+* salvages the valid prefix of damaged append-style journals
+  (rewriting them atomically so they load again),
+* quarantines unrecoverable artifacts to ``<name>.quarantine/``
+  (or deletes them with ``delete=True``),
+
+leaving a tree where every remaining artifact loads cleanly.  Files it
+does not recognize are never touched.  CLI in
+:mod:`repro.store.__main__`::
+
+    python -m repro.store fsck <dir>            # report only
+    python -m repro.store fsck --repair <dir>   # fix what can be fixed
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.store.atomic import TMP_SUFFIX, atomic_writer, quarantine_path
+from repro.store.errors import ArtifactError, SchemaMismatch
+from repro.store.integrity import (
+    ENVELOPE_MAGIC,
+    LINE_DIGEST_HEX,
+    checked_line,
+    read_checked_lines,
+    verify_envelope,
+)
+
+_CHECKED_LINE_RE = re.compile(rb"^[0-9a-f]{%d} \{" % LINE_DIGEST_HEX)
+_QUARANTINE_SUFFIX = ".quarantine"
+
+#: File statuses a finding can carry.
+OK = "ok"
+CORRUPT = "corrupt"
+SALVAGEABLE = "salvageable"
+LEFTOVER = "leftover"
+SKIPPED = "skipped"
+
+
+@dataclass
+class Finding:
+    """One scanned file: what it is, what is wrong, what was done."""
+
+    path: str
+    kind: str          # trace | snapshot-or-reproducer envelope kind |
+                       # sweep-journal | legacy-* | tmp | unknown
+    status: str        # OK / CORRUPT / SALVAGEABLE / LEFTOVER / SKIPPED
+    error: Optional[str] = None   # message of the integrity failure
+    error_type: Optional[str] = None  # ArtifactError subclass name
+    action: Optional[str] = None  # quarantined:<dst> | deleted | salvaged
+
+    def __str__(self) -> str:
+        line = f"{self.status:<11} {self.kind:<18} {self.path}"
+        if self.error:
+            line += f"\n{'':11}   {self.error_type}: {self.error}"
+        if self.action:
+            line += f"\n{'':11}   -> {self.action}"
+        return line
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one :func:`fsck_tree` pass."""
+
+    root: str
+    repaired: bool
+    findings: List[Finding] = field(default_factory=list)
+
+    def _count(self, status: str) -> int:
+        return sum(1 for f in self.findings if f.status == status)
+
+    @property
+    def scanned(self) -> int:
+        return len(self.findings)
+
+    @property
+    def ok(self) -> int:
+        return self._count(OK)
+
+    @property
+    def corrupt(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.status in (CORRUPT, SALVAGEABLE, LEFTOVER)]
+
+    @property
+    def unrepaired(self) -> List[Finding]:
+        """Problems still on disk after this pass (drives the exit
+        code: nonzero without ``--repair``, zero after a full repair)."""
+        return [f for f in self.corrupt if f.action is None]
+
+    def summary(self) -> str:
+        actions = sum(1 for f in self.findings if f.action)
+        return (
+            f"fsck {self.root}: {self.scanned} file(s) scanned, "
+            f"{self.ok} ok, {self._count(CORRUPT)} corrupt, "
+            f"{self._count(SALVAGEABLE)} salvageable, "
+            f"{self._count(LEFTOVER)} writer leftover(s), "
+            f"{self._count(SKIPPED)} skipped; "
+            f"{actions} repair action(s), "
+            f"{len(self.unrepaired)} problem(s) remaining"
+        )
+
+
+# ========================================================= classification
+
+
+def _sniff(path: str) -> str:
+    """Classify a file by content, not extension — artifacts get copied
+    around under arbitrary names."""
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(4096)
+    except OSError:
+        return "unreadable"
+    if head.startswith(b"trace-v1") or head.startswith(b"trace-v2"):
+        return "trace"
+    if head.startswith(ENVELOPE_MAGIC.encode("ascii")):
+        return "envelope"
+    if _CHECKED_LINE_RE.match(head):
+        return "checked-lines"
+    stripped = head.lstrip()
+    if stripped.startswith(b"{"):
+        return "legacy-json"
+    return "unknown"
+
+
+def _legacy_json_kind(doc) -> str:
+    if not isinstance(doc, dict):
+        return "unknown"
+    if "cells" in doc and "version" in doc:
+        return "legacy-journal"
+    if "spec" in doc and "result" in doc:
+        return "legacy-reproducer"
+    if "config_digest" in doc and "rob" in doc:
+        return "legacy-snapshot"
+    return "unknown"
+
+
+# ============================================================== verifiers
+
+
+def _verify_trace(path: str, finding: Finding) -> None:
+    # Lazy import: repro.workloads.serialize imports repro.store.
+    from repro.workloads.serialize import load_trace, verify_trace
+
+    with open(path, "rb") as fh:
+        v2 = fh.read(8) == b"trace-v2"
+    finding.kind = "trace"
+    if v2:
+        verify_trace(path)  # digest + counts: detects any byte of damage
+    else:
+        load_trace(path)    # v1 has no digest: deep-parse every op line
+
+
+def _verify_envelope(path: str, finding: Finding) -> None:
+    meta = verify_envelope(path)
+    finding.kind = meta.kind
+
+
+def _verify_checked_lines(path: str, finding: Finding) -> None:
+    """An append-style checksummed-line file (the sweep journal)."""
+    from repro.experiments.journal import JOURNAL_FORMAT
+
+    result = read_checked_lines(path)
+    header = result.records[0] if result.records else None
+    if isinstance(header, dict) and header.get("format") == JOURNAL_FORMAT:
+        finding.kind = "sweep-journal"
+    else:
+        finding.kind = "checked-lines"
+    if result.clean and finding.kind == "sweep-journal":
+        return
+    if result.clean:
+        raise ArtifactError(
+            "checksummed-line file has no recognizable journal header",
+            path=path, kind=finding.kind, line=1,
+        )
+    # Any damage in an append-style file leaves its valid prefix
+    # salvageable — provided the header survived.
+    finding.status = SALVAGEABLE if header is not None else CORRUPT
+    raise ArtifactError(
+        f"line {result.bad_line}: {result.bad_reason}"
+        + (" (torn tail)" if result.torn_tail else ""),
+        path=path, kind=finding.kind, line=result.bad_line,
+    )
+
+
+def _verify_legacy_json(path: str, finding: Finding) -> None:
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        finding.kind = "legacy-json"
+        raise ArtifactError(
+            f"legacy JSON artifact does not parse ({exc})", path=path
+        ) from exc
+    finding.kind = _legacy_json_kind(doc)
+    if finding.kind == "unknown":
+        # Parseable JSON that is none of our artifacts: not ours to judge.
+        finding.status = SKIPPED
+
+
+# ================================================================ repair
+
+
+def _salvage_journal(path: str, finding: Finding) -> None:
+    """Rewrite a damaged append-style journal with its valid prefix."""
+    result = read_checked_lines(path)
+    kept = len(result.records)
+    with atomic_writer(path) as handle:
+        for record in result.records:
+            handle.write(checked_line(record))
+    finding.action = (
+        f"salvaged: kept the {kept}-record valid prefix, dropped "
+        f"line {result.bad_line}+"
+    )
+
+
+def fsck_tree(
+    root: str,
+    *,
+    repair: bool = False,
+    delete: bool = False,
+    progress: Optional[Callable[[Finding], None]] = None,
+) -> FsckReport:
+    """Scan ``root`` (a directory tree or a single file), verify every
+    recognized artifact, and — with ``repair`` — delete writer
+    leftovers, salvage damaged journals, and quarantine (``delete=True``:
+    remove) unrecoverable artifacts.  Returns a :class:`FsckReport`;
+    ``progress`` is called once per finding as it lands."""
+    report = FsckReport(root=root, repaired=repair)
+    for path in _walk(root):
+        finding = _check_file(path)
+        if repair and finding.status in (CORRUPT, SALVAGEABLE, LEFTOVER):
+            _repair_file(finding, delete)
+        report.findings.append(finding)
+        if progress is not None:
+            progress(finding)
+    return report
+
+
+def _walk(root: str):
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        # Never descend into quarantine dirs: their contents are known-bad.
+        dirnames[:] = sorted(
+            d for d in dirnames if not d.endswith(_QUARANTINE_SUFFIX)
+        )
+        for name in sorted(filenames):
+            yield os.path.join(dirpath, name)
+
+
+_VERIFIERS = {
+    "trace": _verify_trace,
+    "envelope": _verify_envelope,
+    "checked-lines": _verify_checked_lines,
+    "legacy-json": _verify_legacy_json,
+}
+
+
+def _check_file(path: str) -> Finding:
+    if path.endswith(TMP_SUFFIX):
+        return Finding(
+            path=path, kind="tmp", status=LEFTOVER,
+            error="abandoned atomic-writer temp file", error_type="Leftover",
+        )
+    try:
+        if os.path.getsize(path) == 0:
+            # An empty file carries nothing to sniff; flag it only when
+            # its name claims to be one of our artifacts (.gitkeep-style
+            # markers stay untouched).
+            if path.endswith((".json", ".trace", ".ckpt")):
+                return Finding(
+                    path=path, kind="unknown", status=CORRUPT,
+                    error="empty artifact file (truncated to zero bytes)",
+                    error_type="TruncatedArtifact",
+                )
+            return Finding(path=path, kind="unknown", status=SKIPPED)
+    except OSError as exc:
+        return Finding(
+            path=path, kind="unknown", status=CORRUPT,
+            error=f"unreadable: {exc}", error_type=type(exc).__name__,
+        )
+    sniffed = _sniff(path)
+    finding = Finding(path=path, kind=sniffed, status=OK)
+    verifier = _VERIFIERS.get(sniffed)
+    if verifier is None:
+        finding.status = SKIPPED
+        return finding
+    try:
+        verifier(path, finding)
+    except SchemaMismatch as exc:
+        # Intact but incompatible (old schema, foreign kind): report it,
+        # but never quarantine — regenerating/archiving is the caller's
+        # decision, and the file is not damaged.
+        finding.status = SKIPPED
+        finding.error = str(exc)
+        finding.error_type = type(exc).__name__
+    except ArtifactError as exc:
+        if finding.status == OK:
+            finding.status = CORRUPT
+        finding.error = str(exc)
+        finding.error_type = type(exc).__name__
+    except OSError as exc:
+        finding.status = CORRUPT
+        finding.error = f"unreadable: {exc}"
+        finding.error_type = type(exc).__name__
+    return finding
+
+
+def _repair_file(finding: Finding, delete: bool) -> None:
+    try:
+        if finding.status == LEFTOVER:
+            os.unlink(finding.path)
+            finding.action = "deleted"
+        elif finding.status == SALVAGEABLE:
+            _salvage_journal(finding.path, finding)
+        elif delete:
+            os.unlink(finding.path)
+            finding.action = "deleted"
+        else:
+            finding.action = f"quarantined: {quarantine_path(finding.path)}"
+    except OSError as exc:
+        finding.action = None
+        finding.error = (finding.error or "") + f" [repair failed: {exc}]"

@@ -2,30 +2,58 @@
 
 Traces are deterministic in (profile, seed), so regeneration is the
 normal path — but pinning a workload to a file is useful for sharing
-exact inputs across machines or Python versions.  The format is a
-compact line-oriented text file: a header with the trace metadata and
-initial register state, then one line per micro-op.
+exact inputs across machines or Python versions.  Two on-disk formats
+exist:
 
-    trace-v1 <name> <seed> <n_warmup> <n_ops>
+**trace-v2** (written by :func:`save_trace`) — the checksummed format:
+a header with the trace metadata and initial register state, one line
+per micro-op, and a footer that carries the op-line count and the
+SHA-256 of every byte above it, so truncation, bit-flips, and torn
+tails are *detected* at load time instead of silently mis-parsing into
+bogus IPC numbers::
+
+    trace-v2 <name> <seed> <n_warmup> <n_ops>
     I <32 hex words>            # initial INT registers
     F <32 hex words>            # initial FP registers
     <op line> ...               # warmup ops, then timed ops
+    %end trace-v2 lines=<n_warmup+n_ops> sha256=<64 hex>
+
+**trace-v1** (legacy) — the same layout without the footer; still
+loaded transparently, with line counts validated against the header
+(a short file raises :class:`~repro.store.errors.TruncatedArtifact`,
+never a bare ``IndexError``), but byte-level damage inside a
+still-parseable op line is undetectable without the digest.
 
 Op line fields (space-separated)::
 
     <opclass> <pc> <dest_class|-> <dest|-> <result> <mem|-> <T|N> <target>
         <ind:0|1> [<src_class>:<idx>:<value> ...]
+
+All load failures raise the :mod:`repro.store.errors` hierarchy (a
+:class:`ValueError` subclass) with the path and 1-based line number of
+the damage.  Writes are atomic and fsynced via :mod:`repro.store`.
 """
 
 from __future__ import annotations
 
-from typing import IO, List
+import io
+from typing import IO, List, Tuple
 
 from repro.isa.instruction import MicroOp, SourceOperand
 from repro.isa.opcodes import OpClass, RegClass
+from repro.store.atomic import atomic_write_text
+from repro.store.errors import (
+    DigestMismatch,
+    MalformedRecord,
+    SchemaMismatch,
+    TruncatedArtifact,
+)
+from repro.store.integrity import sha256_hex
 from repro.workloads.trace import Trace
 
-_MAGIC = "trace-v1"
+_MAGIC_V1 = "trace-v1"
+_MAGIC_V2 = "trace-v2"
+_FOOTER_PREFIX = "%end trace-v2 "
 
 
 def _dump_op(op: MicroOp, out: IO[str]) -> None:
@@ -45,67 +73,202 @@ def _dump_op(op: MicroOp, out: IO[str]) -> None:
     out.write(" ".join(fields) + "\n")
 
 
-def _parse_op(line: str, seq: int) -> MicroOp:
+def _parse_op(line: str, seq: int, path: str, lineno: int) -> MicroOp:
     fields = line.split()
-    op_class = OpClass[fields[0]]
-    dest = None if fields[3] == "-" else int(fields[3])
-    dest_class = RegClass.INT if fields[2] == "-" else RegClass(int(fields[2]))
-    sources = tuple(
-        SourceOperand(RegClass(int(c)), int(i), int(v, 16))
-        for c, i, v in (part.split(":") for part in fields[9:])
-    )
-    op = MicroOp(
-        seq,
-        int(fields[1], 16),
-        op_class,
-        sources=sources,
-        dest_class=dest_class,
-        dest=dest,
-        result=int(fields[4], 16),
-        mem_addr=None if fields[5] == "-" else int(fields[5], 16),
-        taken=fields[6] == "T",
-        target=int(fields[7], 16),
-        is_indirect=fields[8] == "1",
-    )
-    op.validate()
+    try:
+        op_class = OpClass[fields[0]]
+        dest = None if fields[3] == "-" else int(fields[3])
+        dest_class = RegClass.INT if fields[2] == "-" else RegClass(int(fields[2]))
+        sources = tuple(
+            SourceOperand(RegClass(int(c)), int(i), int(v, 16))
+            for c, i, v in (part.split(":") for part in fields[9:])
+        )
+        op = MicroOp(
+            seq,
+            int(fields[1], 16),
+            op_class,
+            sources=sources,
+            dest_class=dest_class,
+            dest=dest,
+            result=int(fields[4], 16),
+            mem_addr=None if fields[5] == "-" else int(fields[5], 16),
+            taken=fields[6] == "T",
+            target=int(fields[7], 16),
+            is_indirect=fields[8] == "1",
+        )
+        op.validate()
+    except (IndexError, KeyError, ValueError) as exc:
+        raise MalformedRecord(
+            f"bad op line ({type(exc).__name__}: {exc})",
+            path=path, kind="trace", line=lineno,
+        ) from exc
     return op
 
 
+def _render_body(trace: Trace) -> Tuple[str, int]:
+    """The trace's header + register + op lines as one string, plus the
+    number of op lines (what the footer asserts)."""
+    out = io.StringIO()
+    out.write(
+        f"{_MAGIC_V2} {trace.name} {trace.seed} "
+        f"{len(trace.warmup_ops)} {len(trace)}\n"
+    )
+    out.write("I " + " ".join(f"{v:x}" for v in trace.initial_int) + "\n")
+    out.write("F " + " ".join(f"{v:x}" for v in trace.initial_fp) + "\n")
+    for op in trace.warmup_ops:
+        _dump_op(op, out)
+    for op in trace.ops:
+        _dump_op(op, out)
+    return out.getvalue(), len(trace.warmup_ops) + len(trace)
+
+
 def save_trace(trace: Trace, path: str) -> None:
-    """Write a trace (including its warmup prefix) to ``path``."""
-    with open(path, "w") as out:
-        out.write(
-            f"{_MAGIC} {trace.name} {trace.seed} "
-            f"{len(trace.warmup_ops)} {len(trace)}\n"
+    """Atomically write a trace (including its warmup prefix) to
+    ``path`` in the checksummed ``trace-v2`` format."""
+    body, n_lines = _render_body(trace)
+    footer = (
+        f"{_FOOTER_PREFIX}lines={n_lines} "
+        f"sha256={sha256_hex(body.encode('utf-8'))}\n"
+    )
+    atomic_write_text(path, body + footer)
+
+
+def _parse_header(line: str, path: str) -> Tuple[str, str, int, int, int]:
+    header = line.split()
+    if not header or header[0] not in (_MAGIC_V1, _MAGIC_V2):
+        raise SchemaMismatch(
+            f"not a {_MAGIC_V1}/{_MAGIC_V2} file", path=path, kind="trace",
+            found=header[0] if header else None, expected=_MAGIC_V2,
         )
-        out.write("I " + " ".join(f"{v:x}" for v in trace.initial_int) + "\n")
-        out.write("F " + " ".join(f"{v:x}" for v in trace.initial_fp) + "\n")
-        for op in trace.warmup_ops:
-            _dump_op(op, out)
-        for op in trace.ops:
-            _dump_op(op, out)
+    try:
+        name, seed = header[1], int(header[2])
+        n_warmup, n_ops = int(header[3]), int(header[4])
+    except (IndexError, ValueError) as exc:
+        raise MalformedRecord(
+            f"bad trace header ({exc})", path=path, kind="trace", line=1
+        ) from exc
+    return header[0], name, seed, n_warmup, n_ops
+
+
+def _parse_regs(lines: List[str], path: str) -> Tuple[List[int], List[int]]:
+    if len(lines) < 3:
+        raise TruncatedArtifact(
+            "file ends before the initial register state",
+            path=path, kind="trace", line=len(lines),
+        )
+    int_line, fp_line = lines[1].split(), lines[2].split()
+    if not int_line or not fp_line or int_line[0] != "I" or fp_line[0] != "F":
+        raise MalformedRecord(
+            "corrupt register-state header", path=path, kind="trace", line=2
+        )
+    try:
+        initial_int = [int(v, 16) for v in int_line[1:]]
+        initial_fp = [int(v, 16) for v in fp_line[1:]]
+    except ValueError as exc:
+        raise MalformedRecord(
+            f"bad register-state value ({exc})", path=path, kind="trace", line=2
+        ) from exc
+    return initial_int, initial_fp
+
+
+def verify_trace(path: str) -> Tuple[str, int]:
+    """Integrity-check a trace file without building :class:`MicroOp`
+    objects (fsck's verification pass): format magic, declared-vs-actual
+    line counts, and — for trace-v2 — the footer digest.  Returns
+    ``(format_magic, n_op_lines)``; raises the typed
+    :mod:`repro.store.errors` hierarchy on damage."""
+    with open(path, "r", encoding="utf-8", errors="surrogateescape") as fh:
+        raw = fh.read()
+    lines = raw.splitlines()
+    if not lines:
+        raise TruncatedArtifact("empty trace file", path=path, kind="trace")
+    magic, _name, _seed, n_warmup, n_ops = _parse_header(lines[0], path)
+    if magic == _MAGIC_V2:
+        _check_v2_frame(raw, lines, n_warmup + n_ops, path)
+        return magic, n_warmup + n_ops
+    _parse_regs(lines, path)
+    declared = n_warmup + n_ops
+    actual = len(lines) - 3
+    if actual < declared:
+        raise TruncatedArtifact(
+            f"header declares {declared} ops but only {actual} op lines "
+            "are present", path=path, kind="trace", line=len(lines),
+        )
+    return magic, declared
+
+
+def _check_v2_frame(raw: str, lines: List[str], declared: int, path: str) -> None:
+    """Validate the trace-v2 footer: sentinel present, op-line count
+    matches, digest matches the bytes above the footer."""
+    footer = lines[-1]
+    if not footer.startswith(_FOOTER_PREFIX):
+        raise TruncatedArtifact(
+            "trace-v2 footer sentinel missing (truncated or torn file)",
+            path=path, kind="trace", line=len(lines),
+        )
+    try:
+        fields = dict(
+            part.split("=", 1) for part in footer[len(_FOOTER_PREFIX):].split()
+        )
+        footer_lines = int(fields["lines"])
+        footer_digest = fields["sha256"]
+    except (ValueError, KeyError) as exc:
+        raise MalformedRecord(
+            f"bad trace-v2 footer ({exc})", path=path, kind="trace",
+            line=len(lines),
+        ) from exc
+    body = raw[: raw.rindex(footer)]
+    actual_digest = sha256_hex(body.encode("utf-8", "surrogateescape"))
+    if actual_digest != footer_digest:
+        raise DigestMismatch(
+            "trace body does not match its footer SHA-256", path=path,
+            kind="trace", expected=footer_digest, actual=actual_digest,
+        )
+    actual = len(lines) - 4  # header, I, F, footer
+    if actual != footer_lines or actual != declared:
+        raise MalformedRecord(
+            f"header declares {declared} ops, footer declares "
+            f"{footer_lines}, file carries {actual}",
+            path=path, kind="trace", line=len(lines),
+        )
 
 
 def load_trace(path: str) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
-    with open(path) as handle:
-        header = handle.readline().split()
-        if not header or header[0] != _MAGIC:
-            raise ValueError(f"{path}: not a {_MAGIC} file")
-        name, seed = header[1], int(header[2])
-        n_warmup, n_ops = int(header[3]), int(header[4])
-        int_line = handle.readline().split()
-        fp_line = handle.readline().split()
-        if int_line[0] != "I" or fp_line[0] != "F":
-            raise ValueError(f"{path}: corrupt register-state header")
-        initial_int = [int(v, 16) for v in int_line[1:]]
-        initial_fp = [int(v, 16) for v in fp_line[1:]]
-        warmup: List[MicroOp] = [
-            _parse_op(handle.readline(), seq) for seq in range(n_warmup)
-        ]
-        ops: List[MicroOp] = [
-            _parse_op(handle.readline(), seq) for seq in range(n_ops)
-        ]
+    """Read a trace written by :func:`save_trace` — the checksummed
+    ``trace-v2`` format or the legacy ``trace-v1`` layout.  Any damage
+    (truncation, bit-flip, torn tail, malformed op line) raises a typed
+    :class:`~repro.store.errors.ArtifactError` naming the path and
+    line."""
+    with open(path, "r", encoding="utf-8", errors="surrogateescape") as fh:
+        raw = fh.read()
+    lines = raw.splitlines()
+    if not lines:
+        raise TruncatedArtifact("empty trace file", path=path, kind="trace")
+    magic, name, seed, n_warmup, n_ops = _parse_header(lines[0], path)
+    if magic == _MAGIC_V2:
+        # Verify the frame (counts + digest) *before* parsing any op:
+        # a digest-checked body cannot mis-parse into a wrong-but-legal
+        # trace.
+        _check_v2_frame(raw, lines, n_warmup + n_ops, path)
+    initial_int, initial_fp = _parse_regs(lines, path)
+    first_op = 3
+    declared = n_warmup + n_ops
+    available = len(lines) - first_op - (1 if magic == _MAGIC_V2 else 0)
+    if available < declared:
+        raise TruncatedArtifact(
+            f"header declares {n_warmup} warmup + {n_ops} timed ops but "
+            f"only {max(available, 0)} op lines are present",
+            path=path, kind="trace", line=len(lines),
+        )
+    warmup: List[MicroOp] = [
+        _parse_op(lines[first_op + seq], seq, path, first_op + seq + 1)
+        for seq in range(n_warmup)
+    ]
+    ops: List[MicroOp] = [
+        _parse_op(lines[first_op + n_warmup + seq], seq, path,
+                  first_op + n_warmup + seq + 1)
+        for seq in range(n_ops)
+    ]
     return Trace(
         name, ops, seed=seed,
         initial_int=initial_int, initial_fp=initial_fp, warmup_ops=warmup,

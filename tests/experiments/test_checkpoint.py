@@ -76,8 +76,12 @@ def test_journal_version_archive_and_restart(tmp_path):
     assert len(journal) == 0
     # the fresh journal is usable and persists at the new version
     journal.record_error("k", {"kind": "crash"})
-    with open(path) as fh:
-        assert json.load(fh)["version"] == _VERSION
+    from repro.store import read_checked_lines
+
+    lines = read_checked_lines(path)
+    assert lines.clean
+    assert lines.records[0]["version"] == _VERSION
+    assert len(SweepJournal(path).errors()) == 1
 
 
 def test_journal_current_version_loads_silently(tmp_path):

@@ -124,15 +124,31 @@ def test_replay_mismatch_detected(tmp_path):
 
 
 def test_reproducer_version_enforced(tmp_path):
+    from repro.store import read_json_artifact, write_json_artifact
+    from repro.oracle.fuzz import REPRODUCER_KIND
+
     path = str(tmp_path / "repro.json")
     write_reproducer(_CLEAN, run_spec(_CLEAN), path)
-    with open(path) as fh:
-        payload = json.load(fh)
+    payload, _ = read_json_artifact(path, REPRODUCER_KIND)
     payload["version"] = REPRODUCER_VERSION + 1
-    with open(path, "w") as fh:
-        json.dump(payload, fh)
+    write_json_artifact(path, REPRODUCER_KIND, REPRODUCER_VERSION + 1, payload)
     with pytest.raises(ValueError, match="version"):
         load_reproducer(path)
+
+
+def test_reproducer_legacy_plain_json_loads(tmp_path):
+    """Reproducers written before the checksummed envelope (plain JSON)
+    still load transparently."""
+    path = str(tmp_path / "legacy.json")
+    payload = {
+        "version": REPRODUCER_VERSION,
+        "spec": _CLEAN.to_dict(),
+        "result": {"outcome": "clean"},
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    loaded = load_reproducer(path)
+    assert FuzzSpec.from_dict(loaded["spec"]) == _CLEAN
 
 
 def test_fuzz_campaign_writes_reproducers(tmp_path, monkeypatch):

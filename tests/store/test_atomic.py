@@ -1,0 +1,67 @@
+"""Crash-safe write and quarantine primitives."""
+
+import os
+
+import pytest
+
+from repro.store import (
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    quarantine_path,
+)
+
+
+def test_atomic_write_creates_and_replaces(tmp_path):
+    path = str(tmp_path / "a.txt")
+    atomic_write_text(path, "one")
+    assert open(path).read() == "one"
+    atomic_write_text(path, "two")
+    assert open(path).read() == "two"
+
+
+def test_atomic_write_creates_parent_dirs(tmp_path):
+    path = str(tmp_path / "deep" / "er" / "a.bin")
+    atomic_write_bytes(path, b"\x00\x01")
+    assert open(path, "rb").read() == b"\x00\x01"
+
+
+def test_failed_write_leaves_original_and_no_debris(tmp_path):
+    path = str(tmp_path / "a.txt")
+    atomic_write_text(path, "original")
+    with pytest.raises(RuntimeError):
+        with atomic_writer(path) as handle:
+            handle.write("partial garbage")
+            raise RuntimeError("writer died")
+    assert open(path).read() == "original"
+    assert os.listdir(tmp_path) == ["a.txt"], "temp file must be cleaned up"
+
+
+def test_temp_files_carry_recognizable_suffix(tmp_path):
+    """The fsck leftover scan keys on TMP_SUFFIX; the writer must use it."""
+    path = str(tmp_path / "a.txt")
+    seen = []
+    with atomic_writer(path) as handle:
+        seen = [n for n in os.listdir(tmp_path) if n != "a.txt"]
+        handle.write("x")
+    assert seen and all(n.endswith(TMP_SUFFIX) for n in seen)
+
+
+def test_quarantine_moves_file_aside(tmp_path):
+    path = str(tmp_path / "bad.json")
+    atomic_write_text(path, "junk")
+    dest = quarantine_path(path)
+    assert not os.path.exists(path)
+    assert os.path.dirname(dest) == path + ".quarantine"
+    assert open(dest).read() == "junk"
+
+
+def test_quarantine_never_overwrites(tmp_path):
+    path = str(tmp_path / "bad.json")
+    dests = []
+    for content in ("first", "second", "third"):
+        atomic_write_text(path, content)
+        dests.append(quarantine_path(path))
+    assert len(set(dests)) == 3
+    assert [open(d).read() for d in dests] == ["first", "second", "third"]

@@ -1,0 +1,270 @@
+"""The corruption matrix (satellite of the artifact store): inject
+every registered on-disk corruption into every artifact kind and assert
+
+* the loader raises the documented *typed* ArtifactError (never a bare
+  IndexError/KeyError/json.JSONDecodeError),
+* append-style journals auto-salvage their valid prefix where torn,
+* ``fsck`` detects 100% of the injected damage, and
+* ``fsck --repair`` leaves a tree where everything still loads.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.journal import SweepJournal
+from repro.core.stats import SimStats
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.oracle.fuzz import FuzzSpec, load_reproducer, write_reproducer
+from repro.store import (
+    ArtifactError,
+    DigestMismatch,
+    MalformedRecord,
+    TruncatedArtifact,
+    corrupt,
+    fsck_tree,
+)
+from repro.workloads.generator import generate_trace
+from repro.workloads.serialize import load_trace, save_trace
+
+# ======================================================= fixture builders
+
+
+def _build_trace_v2(root):
+    path = os.path.join(root, "t2.trace")
+    save_trace(generate_trace("gzip", 40, seed=3, warmup=10), path)
+    return path
+
+
+def _build_trace_v1(root):
+    """A legacy trace: the v2 layout minus the footer, under the v1
+    magic — what pre-store builds wrote."""
+    v2 = _build_trace_v2(root)
+    lines = open(v2).read().splitlines(keepends=True)
+    path = os.path.join(root, "t1.trace")
+    with open(path, "w") as fh:
+        fh.write(lines[0].replace("trace-v2", "trace-v1", 1))
+        fh.writelines(lines[1:-1])  # drop the footer
+    os.unlink(v2)
+    return path
+
+
+def _build_snapshot(root):
+    path = os.path.join(root, "machine.ckpt")
+    data = {
+        "config_digest": "c" * 16, "rob": [], "cycle": 1234,
+        "pad": ["deadbeef" * 8] * 12,  # push the damage offsets into the payload
+    }
+    save_snapshot(data, path)
+    return path
+
+
+def _build_reproducer(root):
+    path = os.path.join(root, "repro.json")
+    spec = FuzzSpec(
+        seed=0, benchmark="gzip", length=600, warmup=1200, trace_seed=3,
+        oracle_interval=64, audit_interval=256,
+    )
+    write_reproducer(spec, {"outcome": "clean", "pad": "x" * 400}, path)
+    return path
+
+
+def _build_journal(root):
+    path = os.path.join(root, "sweep.json")
+    journal = SweepJournal(path)
+    for i in range(4):
+        journal.record_ok(f"cell-{i}", SimStats())
+    journal.record_error("cell-bad", {"error_type": "RuntimeError", "message": "x"})
+    return path
+
+
+_BUILDERS = {
+    "trace-v2": _build_trace_v2,
+    "trace-v1": _build_trace_v1,
+    "snapshot": _build_snapshot,
+    "reproducer": _build_reproducer,
+    "journal": _build_journal,
+}
+
+_LOADERS = {
+    "trace-v2": load_trace,
+    "trace-v1": load_trace,
+    "snapshot": load_snapshot,
+    "reproducer": load_reproducer,
+    "journal": SweepJournal,
+}
+
+# ============================================================ the matrix
+#
+# (artifact, corruption) -> what the loader must do:
+#   an ArtifactError subclass  raise exactly that typed error
+#   "salvage"                  journal loads; valid prefix kept; .salvaged set
+#   "fresh"                    journal loads empty (zero-byte file)
+#   "intact"                   artifact unharmed (damage hit a sibling)
+#
+# trace-v1 appears only under the corruptions its structural checks can
+# see — it has no digest; that blindness (bit-flips pass!) is exactly
+# why trace-v2 exists, and test_trace_v1_blind_spot pins it below.
+
+MATRIX = {
+    ("trace-v2", "truncate-half"): TruncatedArtifact,
+    ("trace-v2", "truncate-tail"): DigestMismatch,
+    ("trace-v2", "empty"): TruncatedArtifact,
+    ("trace-v2", "bit-flip"): DigestMismatch,
+    ("trace-v2", "zero-fill"): DigestMismatch,
+    ("trace-v2", "torn-tail"): TruncatedArtifact,
+    ("trace-v2", "tmp-leftover"): "intact",
+    ("trace-v1", "truncate-half"): TruncatedArtifact,
+    ("trace-v1", "empty"): TruncatedArtifact,
+    ("trace-v1", "tmp-leftover"): "intact",
+    ("snapshot", "truncate-half"): TruncatedArtifact,
+    ("snapshot", "truncate-tail"): TruncatedArtifact,
+    ("snapshot", "empty"): TruncatedArtifact,
+    ("snapshot", "bit-flip"): DigestMismatch,
+    ("snapshot", "zero-fill"): DigestMismatch,
+    ("snapshot", "torn-tail"): MalformedRecord,
+    ("snapshot", "tmp-leftover"): "intact",
+    ("reproducer", "truncate-half"): TruncatedArtifact,
+    ("reproducer", "truncate-tail"): TruncatedArtifact,
+    ("reproducer", "empty"): TruncatedArtifact,
+    ("reproducer", "bit-flip"): DigestMismatch,
+    ("reproducer", "zero-fill"): DigestMismatch,
+    ("reproducer", "torn-tail"): MalformedRecord,
+    ("reproducer", "tmp-leftover"): "intact",
+    ("journal", "truncate-half"): "salvage",
+    ("journal", "truncate-tail"): "salvage",
+    ("journal", "torn-tail"): "salvage",
+    ("journal", "empty"): "fresh",
+    ("journal", "bit-flip"): DigestMismatch,
+    ("journal", "zero-fill"): DigestMismatch,
+    ("journal", "tmp-leftover"): "intact",
+}
+
+_IDS = [f"{artifact}-{corruption}" for artifact, corruption in MATRIX]
+
+
+@pytest.mark.parametrize(("artifact", "corruption"), list(MATRIX), ids=_IDS)
+def test_loader_reaction(tmp_path, artifact, corruption):
+    path = _BUILDERS[artifact](str(tmp_path))
+    baseline_records = len(SweepJournal(path)) if artifact == "journal" else None
+    corrupt(path, corruption)
+    expect = MATRIX[(artifact, corruption)]
+    loader = _LOADERS[artifact]
+    if expect == "intact":
+        loader(path)  # must not raise: only a .tmp sibling was dropped
+    elif expect == "fresh":
+        assert len(loader(path)) == 0
+    elif expect == "salvage":
+        journal = loader(path)
+        assert journal.salvaged is not None
+        assert len(journal) < baseline_records + 1  # header excluded from len
+        # The salvage rewrote the file: a second open is clean.
+        again = SweepJournal(path)
+        assert again.salvaged is None
+        assert len(again) == len(journal)
+    else:
+        with pytest.raises(expect) as excinfo:
+            loader(path)
+        assert isinstance(excinfo.value, ArtifactError)
+        assert isinstance(excinfo.value, ValueError)  # legacy except-clauses
+
+
+@pytest.mark.parametrize(("artifact", "corruption"), list(MATRIX), ids=_IDS)
+def test_fsck_detects_every_injection(tmp_path, artifact, corruption):
+    """Acceptance: ``python -m repro.store fsck`` detects 100% of the
+    corruption matrix."""
+    root = str(tmp_path)
+    path = _BUILDERS[artifact](root)
+    corrupt(path, corruption)
+    report = fsck_tree(root)
+    assert report.corrupt, (
+        f"fsck missed {corruption} injected into {artifact}"
+    )
+    assert report.unrepaired  # report-only pass: nothing was fixed
+
+
+def test_trace_v1_blind_spot(tmp_path):
+    """A mid-file bit flip in a digest-less trace-v1 file parses into a
+    *wrong but legal* trace — the silent-corruption mode trace-v2's
+    footer digest closes.  If this test ever fails, v1 grew detection
+    and the matrix above should be extended instead."""
+    path = _build_trace_v1(str(tmp_path))
+    lines = open(path).read().splitlines(keepends=True)
+    fields = lines[10].split(" ")
+    fields[4] = format(int(fields[4], 16) ^ 0x1, "x")  # flip a result bit
+    lines[10] = " ".join(fields)
+    open(path, "w").writelines(lines)
+    load_trace(path)  # no error: that is the point
+
+    v2 = os.path.join(str(tmp_path), "same.trace")
+    save_trace(generate_trace("gzip", 40, seed=3, warmup=10), v2)
+    lines = open(v2).read().splitlines(keepends=True)
+    fields = lines[10].split(" ")
+    fields[4] = format(int(fields[4], 16) ^ 0x1, "x")
+    lines[10] = " ".join(fields)
+    open(v2, "w").writelines(lines)
+    with pytest.raises(DigestMismatch):  # v2 closes the blind spot
+        load_trace(v2)
+
+
+def test_fsck_repair_leaves_loadable_tree(tmp_path):
+    """Acceptance: after ``fsck --repair`` every surviving artifact
+    loads; unrecoverable ones are quarantined, leftovers deleted."""
+    root = str(tmp_path)
+    trace = _build_trace_v2(root)
+    snapshot = _build_snapshot(root)
+    reproducer = _build_reproducer(root)
+    journal = _build_journal(root)
+    healthy = os.path.join(root, "healthy.ckpt")
+    save_snapshot({"config_digest": "c" * 16, "rob": []}, healthy)
+
+    corrupt(trace, "bit-flip")        # unrecoverable -> quarantine
+    corrupt(snapshot, "truncate-half")  # unrecoverable -> quarantine
+    corrupt(reproducer, "tmp-leftover")  # sibling debris -> delete
+    corrupt(journal, "zero-fill")     # append-style -> salvage prefix
+
+    report = fsck_tree(root, repair=True)
+    assert not report.unrepaired, report.summary()
+    actions = {f.path: f.action for f in report.findings if f.action}
+    assert actions[trace].startswith("quarantined:")
+    assert actions[snapshot].startswith("quarantined:")
+    assert actions[reproducer + ".partial.tmp"] == "deleted"
+    assert actions[journal].startswith("salvaged:")
+
+    # The quarantined bytes are preserved, not destroyed.
+    assert os.path.isdir(trace + ".quarantine")
+    assert not os.path.exists(trace)
+
+    # Everything still on disk loads cleanly; a second fsck is quiet.
+    assert load_reproducer(reproducer)["result"]["outcome"] == "clean"
+    assert load_snapshot(healthy)["config_digest"] == "c" * 16
+    salvaged = SweepJournal(journal)
+    assert salvaged.salvaged is None and len(salvaged) >= 1
+    clean = fsck_tree(root)
+    assert not clean.corrupt, clean.summary()
+
+
+def test_fsck_repair_delete_mode(tmp_path):
+    root = str(tmp_path)
+    path = _build_snapshot(root)
+    corrupt(path, "bit-flip")
+    report = fsck_tree(root, repair=True, delete=True)
+    assert not report.unrepaired
+    assert not os.path.exists(path)
+    assert not os.path.isdir(path + ".quarantine")
+
+
+def test_fsck_skips_foreign_files(tmp_path):
+    """Files fsck does not recognize are reported as skipped and never
+    touched, even in repair mode."""
+    root = str(tmp_path)
+    notes = os.path.join(root, "notes.txt")
+    open(notes, "w").write("not an artifact\n")
+    foreign = os.path.join(root, "foreign.json")
+    with open(foreign, "w") as fh:
+        json.dump({"some": "other tool's file"}, fh)
+    report = fsck_tree(root, repair=True, delete=True)
+    assert not report.corrupt
+    assert os.path.exists(notes) and os.path.exists(foreign)
+    assert all(f.status == "skipped" for f in report.findings)

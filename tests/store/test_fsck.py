@@ -1,0 +1,154 @@
+"""fsck engine details and the ``python -m repro.store`` CLI."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.snapshot import save_snapshot
+from repro.store import atomic_write_text, corrupt, fsck_tree
+from repro.store.__main__ import main
+
+
+def _snapshot(root, name="snap.ckpt"):
+    path = os.path.join(root, name)
+    save_snapshot({"config_digest": "c" * 16, "rob": [], "pad": "x" * 300}, path)
+    return path
+
+
+# ============================================================= the engine
+
+
+def test_clean_tree_reports_ok(tmp_path):
+    _snapshot(str(tmp_path))
+    report = fsck_tree(str(tmp_path))
+    assert report.scanned == 1 and report.ok == 1
+    assert not report.corrupt and not report.unrepaired
+    assert "1 file(s) scanned, 1 ok" in report.summary()
+
+
+def test_single_file_scan(tmp_path):
+    path = _snapshot(str(tmp_path))
+    assert fsck_tree(path).ok == 1
+    corrupt(path, "bit-flip")
+    report = fsck_tree(path)
+    assert [f.error_type for f in report.corrupt] == ["DigestMismatch"]
+
+
+def test_report_only_never_touches_disk(tmp_path):
+    path = _snapshot(str(tmp_path))
+    corrupt(path, "bit-flip")
+    before = open(path, "rb").read()
+    fsck_tree(str(tmp_path))  # no repair flag
+    assert open(path, "rb").read() == before
+
+
+def test_quarantine_dirs_are_not_rescanned(tmp_path):
+    """Known-bad bytes in <name>.quarantine/ must not be re-reported —
+    otherwise every later fsck of the tree fails forever."""
+    path = _snapshot(str(tmp_path))
+    corrupt(path, "bit-flip")
+    assert not fsck_tree(str(tmp_path), repair=True).unrepaired
+    again = fsck_tree(str(tmp_path))
+    assert not again.corrupt
+    assert not any(".quarantine" in f.path for f in again.findings)
+
+
+def test_legacy_plain_json_snapshot_passes(tmp_path):
+    """Pre-envelope artifacts are verified as legacy JSON, not flagged."""
+    path = os.path.join(str(tmp_path), "old.ckpt")
+    atomic_write_text(
+        path, '{"config_digest": "abc", "rob": [], "cycle": 7}'
+    )
+    report = fsck_tree(str(tmp_path))
+    assert report.ok == 1
+    assert report.findings[0].kind == "legacy-snapshot"
+
+
+def test_nested_dirs_are_walked(tmp_path):
+    deep = tmp_path / "a" / "b"
+    deep.mkdir(parents=True)
+    path = _snapshot(str(deep))
+    corrupt(path, "truncate-half")
+    report = fsck_tree(str(tmp_path))
+    assert [f.path for f in report.corrupt] == [path]
+
+
+def test_progress_callback_sees_every_finding(tmp_path):
+    _snapshot(str(tmp_path), "a.ckpt")
+    _snapshot(str(tmp_path), "b.ckpt")
+    seen = []
+    fsck_tree(str(tmp_path), progress=seen.append)
+    assert sorted(f.path for f in seen) == sorted(
+        os.path.join(str(tmp_path), n) for n in ("a.ckpt", "b.ckpt")
+    )
+
+
+# ================================================================= CLI
+
+
+def test_cli_clean_exit_zero(tmp_path, capsys):
+    _snapshot(str(tmp_path))
+    assert main(["fsck", str(tmp_path)]) == 0
+    assert "0 problem(s) remaining" in capsys.readouterr().out
+
+
+def test_cli_corrupt_exit_one_and_names_the_file(tmp_path, capsys):
+    path = _snapshot(str(tmp_path))
+    corrupt(path, "bit-flip")
+    assert main(["fsck", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert path in out and "DigestMismatch" in out
+
+
+def test_cli_repair_fixes_and_exits_zero(tmp_path, capsys):
+    path = _snapshot(str(tmp_path))
+    corrupt(path, "tmp-leftover")
+    assert main(["fsck", "--repair", str(tmp_path)]) == 0
+    assert "deleted" in capsys.readouterr().out
+    assert not os.path.exists(path + ".partial.tmp")
+    assert os.path.exists(path)
+
+
+def test_cli_repair_command_equals_fsck_repair(tmp_path):
+    path = _snapshot(str(tmp_path))
+    corrupt(path, "bit-flip")
+    assert main(["repair", str(tmp_path)]) == 0
+    assert os.path.isdir(path + ".quarantine")
+
+
+def test_cli_repair_delete(tmp_path):
+    path = _snapshot(str(tmp_path))
+    corrupt(path, "bit-flip")
+    assert main(["repair", "--delete", str(tmp_path)]) == 0
+    assert not os.path.exists(path)
+    assert not os.path.isdir(path + ".quarantine")
+
+
+def test_cli_delete_requires_repair_mode(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fsck", "--delete", str(tmp_path)])
+    assert excinfo.value.code == 2
+
+
+def test_cli_quiet_prints_only_summary(tmp_path, capsys):
+    path = _snapshot(str(tmp_path))
+    corrupt(path, "bit-flip")
+    main(["fsck", "-q", str(tmp_path)])
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 1 and out[0].startswith("fsck ")
+
+
+def test_module_is_executable(tmp_path):
+    """``python -m repro.store fsck`` works as documented in INTERNALS."""
+    _snapshot(str(tmp_path))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = {**os.environ, "PYTHONPATH": os.path.join(repo_root, "src")}
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.store", "fsck", str(tmp_path)],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "1 ok" in proc.stdout
