@@ -126,7 +126,7 @@ def _stale_checkpoint(m: Machine) -> Optional[str]:
         if not items:
             continue
         lreg, preg, _gen = items[0]
-        ckpt.snapshots[cls][lreg].value = free
+        ckpt.snapshots[cls][1][lreg] = free  # values array of (modes, values)
         return (
             f"checkpoint for branch #{ckpt.branch_seq}: repointed shadow "
             f"r{lreg} from p{preg} to free p{free}"

@@ -30,18 +30,34 @@ class CombinedPredictor:
         self.history_mask = (1 << history_bits) - 1
 
     def predict(self, pc: int, history: int) -> bool:
-        if self.selector.predict(pc >> 2):
-            return self.gshare.predict(pc, history)
-        return self.bimodal.predict(pc)
+        # Flattened to direct counter-array reads: this runs for every
+        # conditional branch fetched (and again during warmup), and the
+        # layered predict() calls dominated the branch unit's cost.
+        # Table `entries` lists are read through the table objects, not
+        # aliased, because snapshot restore rebinds them.
+        key = pc >> 2
+        sel = self.selector
+        if sel.entries[key & sel._mask] > sel._threshold:
+            table = self.gshare.table
+            return (
+                table.entries[(key ^ (history & self.history_mask)) & table._mask]
+                > table._threshold
+            )
+        table = self.bimodal.table
+        return table.entries[key & table._mask] > table._threshold
 
     def update(self, pc: int, history: int, taken: bool) -> None:
         """Train both components and, on disagreement, the selector."""
-        bim = self.bimodal.predict(pc)
-        gsh = self.gshare.predict(pc, history)
+        key = pc >> 2
+        bim_table = self.bimodal.table
+        bim = bim_table.entries[key & bim_table._mask] > bim_table._threshold
+        gsh_table = self.gshare.table
+        gsh_key = key ^ (history & self.history_mask)
+        gsh = gsh_table.entries[gsh_key & gsh_table._mask] > gsh_table._threshold
         if bim != gsh:
-            self.selector.update(pc >> 2, taken == gsh)
-        self.bimodal.update(pc, taken)
-        self.gshare.update(pc, history, taken)
+            self.selector.update(key, taken == gsh)
+        bim_table.update(key, taken)
+        gsh_table.update(gsh_key, taken)
 
     @staticmethod
     def shift_history(history: int, taken: bool, history_bits: int) -> int:

@@ -13,7 +13,7 @@ from repro.isa.instruction import MicroOp
 from repro.isa.opcodes import OpClass
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchPrediction:
     """Outcome of predicting one branch at fetch time."""
 

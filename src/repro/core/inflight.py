@@ -79,6 +79,7 @@ class InFlight:
         "squashed",
         "committed",
         "issue_token",
+        "wait_token",
         "replays",
         "prediction",
         "checkpoint",
@@ -88,6 +89,19 @@ class InFlight:
     )
 
     def __init__(self, op: MicroOp, seq: int, trace_idx: int, fetch_cycle: int) -> None:
+        self.issue_token = 0
+        self.wait_token = 0
+        self.reinit(op, seq, trace_idx, fetch_cycle)
+
+    def reinit(self, op: MicroOp, seq: int, trace_idx: int, fetch_cycle: int) -> None:
+        """Reset for a fresh dynamic instance (object pooling).
+
+        ``issue_token`` and ``wait_token`` deliberately survive: they are
+        monotonic generation counters, so any stale reference to this
+        object's previous life (a scheduler waiter entry, a timer event, a
+        consumer record) fails its token check instead of corrupting the
+        new instance.
+        """
         self.op = op
         self.seq = seq
         self.trace_idx = trace_idx
@@ -110,7 +124,6 @@ class InFlight:
         self.completed = False
         self.squashed = False
         self.committed = False
-        self.issue_token = 0
         self.replays = 0
         self.prediction: Optional[BranchPrediction] = None
         self.checkpoint = None

@@ -3,8 +3,11 @@
 Pipeline (Figure 5): ``Fetch | Decode | Rename | Queue | Sched | Disp |
 Disp | RF | RF | Exe | Retire | Commit``.  The model is trace-driven and
 event-assisted: a cycle loop advances fetch/rename/select/commit, while a
-heap of timed events delivers wakeup broadcasts, operand reads, execution
-completions, and PRI retire-stage actions at the right cycles.
+timer wheel of timed events delivers wakeup broadcasts, operand reads,
+execution completions, and PRI retire-stage actions at the right cycles.
+The wheel is a dict keyed by target cycle; each bucket preserves
+insertion order, giving the same delivery order a (cycle, counter) heap
+would, at O(1) per schedule instead of O(log n).
 
 Timing conventions (all configurable via :class:`repro.config.MachineConfig`):
 
@@ -42,7 +45,6 @@ raises :class:`SimulationError` instead of silently corrupting results.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
@@ -53,11 +55,11 @@ from repro.core.lsq import LoadStoreQueue
 from repro.core.regfile import NEVER, PhysRegFile, RegState
 from repro.core.scheduler import Scheduler
 from repro.core.stats import SimStats
-from repro.isa.opcodes import LATENCY, OpClass, RegClass
+from repro.isa.opcodes import LATENCY_BY_CLASS, OpClass, RegClass
 from repro.isa.registers import FP_ZERO_REG, INT_ZERO_REG
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.rename.checkpoints import CheckpointManager
-from repro.rename.map_table import RenameMapTable
+from repro.rename.map_table import MODE_IMMEDIATE, MODE_POINTER, RenameMapTable
 from repro.rename.refcount import RefCountTable
 from repro.workloads.trace import Trace
 
@@ -66,7 +68,7 @@ _EV_WAKE = 0  # (reg_class, preg): speculative wakeup broadcast
 _EV_READ = 1  # (instr, token): register-read stage
 _EV_COMPLETE = 2  # (instr, token): end of execution
 _EV_RETIRE = 3  # (instr, token): PRI significance check / map update
-_EV_TIMER = 4  # instr: scheduled re-wake after a failed verification
+_EV_TIMER = 4  # (instr, wait_token): re-wake after a failed verification
 
 _CLASS_NAMES = {RegClass.INT: "int", RegClass.FP: "fp"}
 
@@ -131,14 +133,23 @@ class Machine:
                 "virtual-physical allocation does not compose with the "
                 "early-release scheme (see MachineConfig.virtual_physical)"
             )
+        # Checkpoint reference counting exists to pin registers against
+        # PRI/ER reclamation; a baseline machine never consults the
+        # counts (and the auditor keys its recomputation off this flag),
+        # so skip the per-branch add/drop work there too.
         self.ckpts = CheckpointManager(
             config.max_checkpoints,
             self.maps,
             self.refcounts,
             track_er_refs=config.early_release,
-            track_refs=not self._vp,
-            gen_of=(None if self._vp
-                    else lambda cls, preg: self.rf[cls].gen[preg]),
+            track_refs=not self._vp and (pri.enabled or config.early_release),
+            # Generation stamps exist solely for the auditor's
+            # stale-checkpoint proof; skip the per-take stamping pass in
+            # unaudited runs.
+            gen_source=(
+                None if self._vp or not config.audit.enabled
+                else lambda cls: self.rf[cls].gen
+            ),
         )
         self.ckpts.on_unref = self._after_unref
         # Virtual-physical state: vtag table, id counter, and per-class
@@ -156,14 +167,36 @@ class Machine:
         self._ideal_war = pri.enabled and pri.war_policy == WarPolicy.IDEAL
         self._replay_war = pri.enabled and pri.war_policy == WarPolicy.REPLAY
         self._lazy_ckpt = pri.enabled and pri.checkpoint_policy == CheckpointPolicy.LAZY
+        # Hot-path scalars, flattened out of the (frozen dataclass) config:
+        # the pipeline stages read these once or more per instruction.
+        self._width = config.width
+        self._rob_entries = config.rob_entries
+        self._frontend_delta = config.frontend_depth - 1
+        self._rf_read_offset = config.rf_read_offset
+        self._exec_offset = config.exec_offset
+        self._retire_offset = config.retire_offset
+        self._perfect_icache = config.perfect_icache
+        self._il1_shift = self.memory.il1.line_shift
+        # Line of the last IL1 access, for the fetch fast path; -1 means
+        # "unknown" (fresh machine or restored snapshot).
+        self._il1_last_line = -1
+        self._il1_hit = config.memory.il1.latency
+        self._pri_enabled = pri.enabled
+        self._er = config.early_release
+        self._li_inline_cfg = pri.enabled and pri.inline_on_load_immediate
+        #: Recycled payload-RAM records (see _commit).
+        self._rec_pool: List[SourceRecord] = []
         # Payload-RAM index for the ideal policy's associative update:
         # per class, per preg, the live consumer records.
         self._consumer_records: Dict[RegClass, List[list]] = {
             cls: [[] for _ in range(rf.num_regs)] for cls, rf in self.rf.items()
         }
 
-        self._events: List[tuple] = []
-        self._ev_counter = 0
+        #: Timer wheel: target cycle -> [(kind, payload), ...] in
+        #: insertion order.  See the module docstring.
+        self._events: Dict[int, List[tuple]] = {}
+        #: Retired InFlight objects available for reuse (see _commit).
+        self._pool: List[InFlight] = []
         self.now = 0
         self._seq = 0
         self._committed_target = 0
@@ -184,6 +217,7 @@ class Machine:
 
         # Fetch state.
         self.trace: Optional[Trace] = None
+        self._trace_ops: List = []
         self._fetch_idx = 0
         self._fetch_buffer: deque = deque()
         self._fetch_stall_until = 0
@@ -232,31 +266,56 @@ class Machine:
         auditor = self.auditor
         oracle = self.oracle
         deadlock_after = self.cfg.deadlock_cycles
-        while self.stats.committed < target:
-            if self.now >= limit:
-                break
-            self.now += 1
-            self._process_events()
-            self.stats.occupancy_sum["int"] += self.rf[RegClass.INT].allocated_count
-            self.stats.occupancy_sum["fp"] += self.rf[RegClass.FP].allocated_count
-            self._commit()
-            self._select()
-            self._rename()
-            self._fetch()
-            if self._cycle_hooks:
-                for hook in tuple(self._cycle_hooks):
-                    hook(self)
-            if auditor is not None:
-                auditor.maybe_check(self)
-            if oracle is not None:
-                oracle.maybe_check(self)
-            if self.now - self._last_commit_cycle > deadlock_after:
-                head = repr(self.rob[0]) if self.rob else "rob empty"
-                raise SimulationError(
-                    f"deadlock: no commit since cycle {self._last_commit_cycle} "
-                    f"(now {self.now}, watchdog {deadlock_after} cycles, "
-                    f"{self.stats.committed}/{target} committed, {head})"
-                )
+        stats = self.stats
+        occupancy = stats.occupancy_sum
+        rf_int = self.rf[RegClass.INT]
+        rf_fp = self.rf[RegClass.FP]
+        process_events = self._process_events
+        commit = self._commit
+        select = self._select
+        rename = self._rename
+        fetch = self._fetch
+        # Occupancy integrals accumulate in locals and flush to the stats
+        # object once per observation (hooks/auditor/oracle see current
+        # values — snapshots taken mid-run must be exact) or at loop exit.
+        occ_int = 0
+        occ_fp = 0
+        # Appended/removed in place, never rebound — aliasing is safe.
+        cycle_hooks = self._cycle_hooks
+        observed = auditor is not None or oracle is not None
+        try:
+            while stats.committed < target:
+                if self.now >= limit:
+                    break
+                self.now += 1
+                process_events()
+                occ_int += rf_int.allocated_count
+                occ_fp += rf_fp.allocated_count
+                commit()
+                select()
+                rename()
+                fetch()
+                if cycle_hooks or observed:
+                    if occ_int or occ_fp:
+                        occupancy["int"] += occ_int
+                        occupancy["fp"] += occ_fp
+                        occ_int = occ_fp = 0
+                    for hook in tuple(cycle_hooks):
+                        hook(self)
+                    if auditor is not None:
+                        auditor.maybe_check(self)
+                    if oracle is not None:
+                        oracle.maybe_check(self)
+                if self.now - self._last_commit_cycle > deadlock_after:
+                    head = repr(self.rob[0]) if self.rob else "rob empty"
+                    raise SimulationError(
+                        f"deadlock: no commit since cycle {self._last_commit_cycle} "
+                        f"(now {self.now}, watchdog {deadlock_after} cycles, "
+                        f"{stats.committed}/{target} committed, {head})"
+                    )
+        finally:
+            occupancy["int"] += occ_int
+            occupancy["fp"] += occ_fp
         self._finalize()
         return self.stats
 
@@ -296,14 +355,25 @@ class Machine:
         (the stand-in for the paper's 400M-instruction fast-forward)."""
         unit = self.branch_unit
         mem = self.memory
+        fetch = mem.il1.access_latency
+        data = mem.dl1.access_latency
+        resolve = unit.resolve
+        predict = unit.predict
+        # Same-line IL1 accesses are skipped: a repeat access only moves
+        # the already-MRU line to MRU and bumps the hit counter, and the
+        # counters are zeroed below anyway.  Only the IL1 touches its
+        # sets, so "same line as the previous access" proves residency.
+        il1_shift = mem.il1.line_shift
+        last_line = -1
         for op in trace.warmup_ops:
-            mem.fetch_latency(op.pc)
+            line = op.pc >> il1_shift
+            if line != last_line:
+                fetch(op.pc)
+                last_line = line
             if op.is_branch:
-                unit.resolve(op, unit.predict(op))
-            elif op.is_load:
-                mem.load_latency(op.mem_addr)
-            elif op.is_store:
-                mem.store_access(op.mem_addr)
+                resolve(op, predict(op))
+            elif op.is_mem:
+                data(op.mem_addr)
         unit.predictions = 0
         unit.direction_mispredicts = 0
         unit.target_mispredicts = 0
@@ -319,6 +389,7 @@ class Machine:
                 "(or use repro.simulate) for each trace"
             )
         self.trace = trace
+        self._trace_ops = list(trace.ops)
         if self.cfg.oracle.enabled:
             from repro.oracle.golden import CommitOracle  # lazy: avoids cycle
 
@@ -372,17 +443,28 @@ class Machine:
     # ============================================================ events
 
     def _schedule(self, cycle: int, kind: int, payload) -> None:
-        self._ev_counter += 1
-        heapq.heappush(self._events, (cycle, self._ev_counter, kind, payload))
+        # An event scheduled during cycle N for a cycle <= N lands in the
+        # N+1 bucket: _process_events has already run this cycle, and the
+        # old event heap delivered such events at the next cycle's sweep.
+        if cycle <= self.now:
+            cycle = self.now + 1
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [(kind, payload)]
+        else:
+            bucket.append((kind, payload))
 
     def _process_events(self) -> None:
         events = self._events
-        now = self.now
-        while events and events[0][0] <= now:
-            _, __, kind, payload = heapq.heappop(events)
+        if not events:
+            return
+        bucket = events.pop(self.now, None)
+        if bucket is None:
+            return
+        sched_wake = self.sched.wake
+        for kind, payload in bucket:
             if kind == _EV_WAKE:
-                cls, preg = payload
-                self.sched.wake(cls, preg)
+                sched_wake(payload[0], payload[1])
             elif kind == _EV_READ:
                 instr, token = payload
                 if not instr.squashed and instr.issue_token == token:
@@ -396,47 +478,72 @@ class Machine:
                 if not instr.squashed and instr.issue_token == token:
                     self._do_retire(instr)
             else:  # _EV_TIMER
-                self.sched.timer_wake(payload)
+                instr, token = payload
+                self.sched.timer_wake(instr, token)
 
     # ============================================================= fetch
 
     def _fetch(self) -> None:
-        if self.now < self._fetch_stall_until:
+        now = self.now
+        if now < self._fetch_stall_until:
             return
-        cfg = self.cfg
-        if len(self._fetch_buffer) >= cfg.width * 2:
+        buffer = self._fetch_buffer
+        width = self._width
+        if len(buffer) >= width * 2:
             return
-        trace = self.trace
+        ops = self._trace_ops
+        limit = len(ops)
+        idx = self._fetch_idx
+        if idx >= limit:
+            return
         count = 0
-        while count < cfg.width and self._fetch_idx < len(trace):
-            op = trace[self._fetch_idx]
-            if count == 0 and not cfg.perfect_icache:
-                latency = self.memory.fetch_latency(op.pc)
-                hit = cfg.memory.il1.latency
-                if latency > hit:
-                    # IL1 miss: the line arrives after the extra latency.
-                    self._fetch_stall_until = self.now + (latency - hit)
-                    return
-            self._fetch_buffer.append((op, self._fetch_idx, self.now))
-            self._fetch_idx += 1
+        while count < width and idx < limit:
+            op = ops[idx]
+            if count == 0 and not self._perfect_icache:
+                # Same-line fast path: the previous group's access left
+                # this line MRU-resident (nothing else touches the IL1),
+                # so a repeat access is a guaranteed hit — count it
+                # without replaying the LRU update.
+                line = op.pc >> self._il1_shift
+                if line == self._il1_last_line:
+                    self.memory.il1.hits += 1
+                else:
+                    latency = self.memory.il1.access_latency(op.pc)
+                    self._il1_last_line = line
+                    if latency > self._il1_hit:
+                        # IL1 miss: the line arrives after the extra latency.
+                        self._fetch_stall_until = now + (latency - self._il1_hit)
+                        return
+            buffer.append((op, idx, now))
+            idx += 1
             count += 1
-            self.stats.fetched += 1
             if op.is_branch and op.taken:
                 break  # Table 1: fetch stops at the first taken branch.
+        self._fetch_idx = idx
+        self.stats.fetched += count
 
     # ============================================================ rename
 
     def _rename(self) -> None:
-        budget = self.cfg.width
-        horizon = self.now - (self.cfg.frontend_depth - 1)
-        while budget and self._fetch_buffer:
-            op, trace_idx, fetch_cycle = self._fetch_buffer[0]
+        buffer = self._fetch_buffer
+        if not buffer:
+            return
+        budget = self._width
+        horizon = self.now - self._frontend_delta
+        rename_one = self._try_rename_one
+        popleft = buffer.popleft
+        renamed = 0
+        while budget and buffer:
+            op, trace_idx, fetch_cycle = buffer[0]
             if fetch_cycle > horizon:
                 break
-            if not self._try_rename_one(op, trace_idx, fetch_cycle):
+            if not rename_one(op, trace_idx, fetch_cycle):
                 break
-            self._fetch_buffer.popleft()
+            popleft()
             budget -= 1
+            renamed += 1
+        if renamed:
+            self.stats.renamed += renamed
 
     def _stall(self, regs: bool) -> bool:
         if regs:
@@ -446,63 +553,99 @@ class Machine:
         return False
 
     def _try_rename_one(self, op, trace_idx: int, fetch_cycle: int) -> bool:
-        cfg = self.cfg
-        if len(self.rob) >= cfg.rob_entries or not self.sched.has_space:
+        sched = self.sched
+        if len(self.rob) >= self._rob_entries or sched.occupancy >= sched.capacity:
             return self._stall(regs=False)
-        is_mem = op.is_load or op.is_store
-        if is_mem and not self.lsq.has_space:
-            return self._stall(regs=False)
+        is_mem = op.is_mem
+        if is_mem:
+            lsq = self.lsq
+            if lsq.occupancy >= lsq.capacity:
+                return self._stall(regs=False)
         if op.is_branch and self.ckpts.full:
             return self._stall(regs=False)
 
-        pri = cfg.pri
+        now = self.now
+        maps = self.maps
+        rf_map = self.rf
+        track_refs = self._track_refs
         dest_cls = op.dest_class
         li_inline = False
-        if op.dest is not None:
+        dest = op.dest
+        if dest is not None:
             li_inline = (
-                pri.enabled
-                and pri.inline_on_load_immediate
+                self._li_inline_cfg
                 and op.op == OpClass.INT_ALU
                 and not op.sources
-                and self.maps[RegClass.INT].value_fits(op.result)
+                and maps[RegClass.INT].value_fits(op.result)
             )
             # Virtual-physical mode allocates at issue, not rename.
-            if not self._vp and not li_inline and self.rf[dest_cls].free_list.empty:
+            if not self._vp and not li_inline and rf_map[dest_cls].free_list.empty:
                 return self._stall(regs=True)
 
         self._seq += 1
-        instr = InFlight(op, self._seq, trace_idx, fetch_cycle)
-        instr.rename_cycle = self.now
+        pool = self._pool
+        if pool:
+            instr = pool.pop()
+            instr.reinit(op, self._seq, trace_idx, fetch_cycle)
+        else:
+            instr = InFlight(op, self._seq, trace_idx, fetch_cycle)
+        instr.rename_cycle = now
 
-        # --- source operands: read the map.
+        # --- source operands: read the map (direct modes/values indexing;
+        # this is the hottest loop in rename).  Payload records are
+        # recycled from _rec_pool when available (field stores on a spare
+        # object beat a constructor call here).
         unready: List[Tuple[RegClass, int]] = []
+        sources = instr.sources
+        append_source = sources.append
+        rec_pool = self._rec_pool
+        ideal_war = self._ideal_war
         for src in op.sources:
             cls = src.reg_class
             zero = INT_ZERO_REG if cls == RegClass.INT else FP_ZERO_REG
             if src.index == zero:
-                instr.sources.append(
-                    SourceRecord(SRC_IMM, cls, -1, -1, 0, counted=False)
-                )
+                if rec_pool:
+                    rec = rec_pool.pop()
+                    rec.mode = SRC_IMM
+                    rec.reg_class = cls
+                    rec.preg = -1
+                    rec.gen = -1
+                    rec.value = 0
+                    rec.read_done = False
+                    rec.counted = False
+                else:
+                    rec = SourceRecord(SRC_IMM, cls, -1, -1, 0, counted=False)
+                append_source(rec)
                 continue
-            entry = self.maps[cls].lookup(src.index)
-            if entry.is_immediate:
-                if entry.value != src.expected_value:
+            table = maps[cls]
+            mapped = table.values[src.index]
+            if table.modes[src.index] == MODE_IMMEDIATE:
+                if mapped != src.expected_value:
                     self._value_fault(
                         "map-immediate",
                         f"map immediate corrupt for {src!r} at #{instr.seq}: "
-                        f"map={entry.value:#x} expected={src.expected_value:#x}",
+                        f"map={mapped:#x} expected={src.expected_value:#x}",
                         trace_index=instr.trace_idx,
                         seq=instr.seq,
                         reg_class=_CLASS_NAMES[cls],
                         lreg=src.index,
                         expected=src.expected_value,
-                        actual=entry.value,
+                        actual=mapped,
                     )
-                instr.sources.append(
-                    SourceRecord(SRC_IMM, cls, -1, -1, entry.value, counted=False)
-                )
+                if rec_pool:
+                    rec = rec_pool.pop()
+                    rec.mode = SRC_IMM
+                    rec.reg_class = cls
+                    rec.preg = -1
+                    rec.gen = -1
+                    rec.value = mapped
+                    rec.read_done = False
+                    rec.counted = False
+                else:
+                    rec = SourceRecord(SRC_IMM, cls, -1, -1, mapped, counted=False)
+                append_source(rec)
                 continue
-            preg = entry.value
+            preg = mapped
             if preg < 0:
                 self._value_fault(
                     "arch-map",
@@ -528,58 +671,73 @@ class Machine:
                     )
                 rec = SourceRecord(SRC_REG, cls, preg, 0, src.expected_value,
                                    counted=False)
-                instr.sources.append(rec)
-                if v.pred_ready > self.now:
+                append_source(rec)
+                if v.pred_ready > now:
                     unready.append((cls, preg))
                 continue
-            rf = self.rf[cls]
-            rec = SourceRecord(
-                SRC_REG, cls, preg, rf.gen[preg], src.expected_value,
-                counted=self._track_refs,
-            )
-            if self._track_refs:
+            rf = rf_map[cls]
+            if rec_pool:
+                rec = rec_pool.pop()
+                rec.mode = SRC_REG
+                rec.reg_class = cls
+                rec.preg = preg
+                rec.gen = rf.gen[preg]
+                rec.value = src.expected_value
+                rec.read_done = False
+                rec.counted = track_refs
+            else:
+                rec = SourceRecord(
+                    SRC_REG, cls, preg, rf.gen[preg], src.expected_value,
+                    counted=track_refs,
+                )
+            if track_refs:
                 self.refcounts[cls].add_consumer(preg)
-            if self._ideal_war:
+            if ideal_war:
                 self._consumer_records[cls][preg].append((rec, instr))
-            instr.sources.append(rec)
-            if rf.pred_ready[preg] > self.now:
+            append_source(rec)
+            if rf.pred_ready[preg] > now:
                 unready.append((cls, preg))
 
         # --- destination: allocate and update the map.
-        if op.dest is not None and self._vp:
-            table = self.maps[dest_cls]
-            prev = table.pointer_of(op.dest)
+        if dest is not None and self._vp:
+            table = maps[dest_cls]
+            prev = table.pointer_of(dest)
             if prev >= _VID_FLAG:
                 instr.prev_vid = prev
             if li_inline:
-                table.set_immediate(op.dest, op.result)
+                table.set_immediate(dest, op.result)
                 self.stats.inlined += 1
                 self.stats.inline_attempts += 1
             else:
                 vid = self._new_vreg(dest_cls, instr)
                 instr.dest_vid = _VID_FLAG + vid
-                table.set_pointer(op.dest, instr.dest_vid)
-        elif op.dest is not None:
-            table = self.maps[dest_cls]
-            prev = table.pointer_of(op.dest)
+                table.set_pointer(dest, instr.dest_vid)
+        elif dest is not None:
+            table = maps[dest_cls]
+            # pointer_of / set_pointer inlined: direct mode/value array
+            # access on the per-instruction path.
+            prev = -1 if table.modes[dest] == MODE_IMMEDIATE else table.values[dest]
             instr.prev_preg = prev
+            rf = rf_map[dest_cls]
             if prev >= 0:
-                instr.prev_gen = self.rf[dest_cls].gen[prev]
+                instr.prev_gen = rf.gen[prev]
             if li_inline:
-                table.set_immediate(op.dest, op.result)
+                table.set_immediate(dest, op.result)
                 instr.dest_preg = -1
                 self.stats.inlined += 1
                 self.stats.inline_attempts += 1
             else:
-                rf = self.rf[dest_cls]
-                preg = rf.allocate(op.dest, instr.seq, self.now)
+                preg = rf.allocate(dest, instr.seq, now)
                 if preg is None:  # checked above; defensive
                     raise SimulationError("free list empty after check")
-                self._consumer_records[dest_cls][preg].clear()
+                if ideal_war:
+                    # Only the ideal-WAR policy populates these lists.
+                    self._consumer_records[dest_cls][preg].clear()
                 instr.dest_preg = preg
                 instr.dest_gen = rf.gen[preg]
-                table.set_pointer(op.dest, preg)
-            if prev >= 0 and cfg.early_release:
+                table.modes[dest] = MODE_POINTER
+                table.values[dest] = preg
+            if prev >= 0 and self._er:
                 self._maybe_free_er(dest_cls, prev)
 
         # --- branches: predict and checkpoint.
@@ -594,20 +752,23 @@ class Machine:
 
         if is_mem:
             self.lsq.insert(instr)
-        self.sched.insert(instr, unready)
+        sched.insert(instr, unready)
         self.rob.append(instr)
-        self.stats.renamed += 1
         return True
 
     # ============================================================ select
 
     def _select(self) -> None:
-        slots = self.cfg.width
+        if not self.sched._ready:
+            return
+        slots = self._width
+        pop_ready = self.sched.pop_ready
+        verify_and_issue = self._verify_and_issue
         while slots:
-            instr = self.sched.pop_ready()
+            instr = pop_ready()
             if instr is None:
                 return
-            ok = self._verify_and_issue(instr)
+            ok = verify_and_issue(instr)
             slots -= 1
             if not ok:
                 self.stats.issue_replays += 1
@@ -616,8 +777,9 @@ class Machine:
     def _verify_and_issue(self, instr: InFlight) -> bool:
         """Select-time verification; issue on success, re-park on failure."""
         now = self.now
-        never_waits: List[Tuple[RegClass, int]] = []
-        finite_waits: List[int] = []
+        rf_map = self.rf
+        never_waits: Optional[List[Tuple[RegClass, int]]] = None
+        finite_waits: Optional[List[int]] = None
         for rec in instr.sources:
             if rec.mode != SRC_REG or rec.read_done:
                 continue
@@ -627,11 +789,15 @@ class Machine:
                 ready = self._vregs[preg - _VID_FLAG].ready_select
                 if ready > now:
                     if ready >= NEVER:
+                        if never_waits is None:
+                            never_waits = []
                         never_waits.append((rec.reg_class, preg))
                     else:
+                        if finite_waits is None:
+                            finite_waits = []
                         finite_waits.append(ready)
                 continue
-            rf = self.rf[rec.reg_class]
+            rf = rf_map[rec.reg_class]
             if rf.gen[preg] != rec.gen or rf.state[preg] == RegState.FREE:
                 # The producer's register was reclaimed before this
                 # consumer read it: Figure 6's WAR violation.
@@ -641,6 +807,8 @@ class Machine:
                         rec.counted = False
                         self.refcounts[rec.reg_class].drop_consumer(preg)
                     rec.patch_to_immediate(rec.value)
+                    if finite_waits is None:
+                        finite_waits = []
                     finite_waits.append(now + self.cfg.war_replay_penalty)
                     continue
                 self._value_fault(
@@ -656,13 +824,22 @@ class Machine:
             ready = rf.ready_select[preg]
             if ready > now:
                 if ready >= NEVER:
+                    if never_waits is None:
+                        never_waits = []
                     never_waits.append((rec.reg_class, preg))
                 else:
+                    if finite_waits is None:
+                        finite_waits = []
                     finite_waits.append(ready)
-        if never_waits or finite_waits:
-            self.sched.park(instr, never_waits, extra_missing=len(finite_waits))
-            for cycle in finite_waits:
-                self._schedule(cycle, _EV_TIMER, instr)
+        if never_waits is not None or finite_waits is not None:
+            token = self.sched.park(
+                instr,
+                never_waits if never_waits is not None else (),
+                extra_missing=0 if finite_waits is None else len(finite_waits),
+            )
+            if finite_waits is not None:
+                for cycle in finite_waits:
+                    self._schedule(cycle, _EV_TIMER, (instr, token))
             return False
         if self._vp and instr.dest_vid >= 0 and instr.dest_preg < 0:
             if not self._bind_dest_preg(instr):
@@ -752,15 +929,14 @@ class Machine:
 
     def _issue(self, instr: InFlight) -> None:
         now = self.now
-        cfg = self.cfg
         op = instr.op
         self.sched.release_entry(instr)
         instr.issued = True
         instr.issue_cycle = now
-        instr.issue_token += 1
-        token = instr.issue_token
+        token = instr.issue_token + 1
+        instr.issue_token = token
 
-        latency = LATENCY[op.op]
+        latency = LATENCY_BY_CLASS[op.op]
         assumed = actual = latency
         if op.is_load:
             assumed = latency + self.memory.dl1_hit_latency
@@ -768,31 +944,72 @@ class Machine:
                 self.lsq.forwards += 1
                 actual = assumed
             else:
-                actual = latency + self.memory.load_latency(op.mem_addr)
+                actual = latency + self.memory.dl1.access_latency(op.mem_addr)
             instr.mem_latency = actual - latency
 
+        # All offsets below are strictly positive, so the wheel buckets
+        # are appended to directly (no past-cycle clamp needed).
+        events = self._events
         if self._vp and instr.dest_vid >= 0:
             v = self._vregs[instr.dest_vid - _VID_FLAG]
             v.pred_ready = now + assumed
             v.ready_select = now + actual
             v.value = op.result
-            self._schedule(now + assumed, _EV_WAKE, (op.dest_class, instr.dest_vid))
+            cycle = now + assumed
+            bucket = events.get(cycle)
+            ev = (_EV_WAKE, (op.dest_class, instr.dest_vid))
+            if bucket is None:
+                events[cycle] = [ev]
+            else:
+                bucket.append(ev)
         elif instr.dest_preg >= 0:
             rf = self.rf[op.dest_class]
             preg = instr.dest_preg
             rf.pred_ready[preg] = now + assumed
             rf.ready_select[preg] = now + actual
             rf.value[preg] = op.result  # forwarded value; written at complete
-            self._schedule(now + assumed, _EV_WAKE, (op.dest_class, preg))
-        if instr.sources:
-            self._schedule(now + cfg.rf_read_offset, _EV_READ, (instr, token))
-        self._schedule(now + cfg.exec_offset + actual, _EV_COMPLETE, (instr, token))
+            cycle = now + assumed
+            bucket = events.get(cycle)
+            ev = (_EV_WAKE, (op.dest_class, preg))
+            if bucket is None:
+                events[cycle] = [ev]
+            else:
+                bucket.append(ev)
+        sources = instr.sources
+        need_read = False
+        for rec in sources:
+            if rec.mode == SRC_REG and not rec.read_done:
+                need_read = True
+                break
+        if not need_read:
+            # Immediate-only operands: the read stage would only set the
+            # flags below, so skip scheduling it.  Nothing observes a
+            # source record's read_done between issue and the read cycle
+            # (select skips non-register records, commit runs later).
+            for rec in sources:
+                rec.read_done = True
+        else:
+            cycle = now + self._rf_read_offset
+            bucket = events.get(cycle)
+            ev = (_EV_READ, (instr, token))
+            if bucket is None:
+                events[cycle] = [ev]
+            else:
+                bucket.append(ev)
+        cycle = now + self._exec_offset + actual
+        bucket = events.get(cycle)
+        ev = (_EV_COMPLETE, (instr, token))
+        if bucket is None:
+            events[cycle] = [ev]
+        else:
+            bucket.append(ev)
         self.stats.issued += 1
 
     # ========================================================== read stage
 
     def _do_read(self, instr: InFlight) -> None:
         now = self.now
+        rf_map = self.rf
         for rec in instr.sources:
             if rec.read_done:
                 continue
@@ -816,9 +1033,9 @@ class Machine:
                     )
                 rec.read_done = True
                 if v.preg >= 0:
-                    self.rf[cls].read_stamp(v.preg, now)
+                    rf_map[cls].read_stamp(v.preg, now)
                 continue
-            rf = self.rf[cls]
+            rf = rf_map[cls]
             if rf.gen[preg] != rec.gen:
                 if self._replay_war:
                     self._war_reissue(instr)
@@ -873,8 +1090,13 @@ class Machine:
             rf.ready_select[instr.dest_preg] = NEVER
         instr.in_scheduler = True
         self.sched.occupancy += 1  # entry re-claimed; may transiently overflow
-        instr.missing = 1
-        self._schedule(self.now + self.cfg.war_replay_penalty, _EV_TIMER, instr)
+        # park() starts a fresh wait generation, so a timer left over from
+        # a pre-replay park can no longer count against this wait and
+        # issue the entry before its penalty elapses.
+        token = self.sched.park(instr, [], extra_missing=1)
+        self._schedule(
+            self.now + self.cfg.war_replay_penalty, _EV_TIMER, (instr, token)
+        )
 
     # ========================================================== complete
 
@@ -890,10 +1112,10 @@ class Machine:
         if instr.dest_preg >= 0:
             rf = self.rf[op.dest_class]
             rf.write(instr.dest_preg, op.result, now)
-            if not self._vp and self.cfg.pri.enabled:
+            if not self._vp and self._pri_enabled:
                 # Pin against ER release until the retire-stage PRI check.
                 rf.retire_pending[instr.dest_preg] = True
-            if self.cfg.early_release:
+            if self._er:
                 self._maybe_free_er(op.dest_class, instr.dest_preg)
         if op.is_branch:
             self.branch_unit.resolve(op, instr.prediction)
@@ -903,9 +1125,9 @@ class Machine:
             # Resolved branches can never be recovery targets again, so
             # their shadow maps free immediately (out of order).
             self.ckpts.release(instr.checkpoint)
-        if self.cfg.pri.enabled and instr.dest_preg >= 0:
+        if self._pri_enabled and instr.dest_preg >= 0:
             self._schedule(
-                now + self.cfg.retire_offset, _EV_RETIRE, (instr, instr.issue_token)
+                now + self._retire_offset, _EV_RETIRE, (instr, instr.issue_token)
             )
 
     # ====================================================== retire (PRI)
@@ -1052,24 +1274,33 @@ class Machine:
     # ============================================================ commit
 
     def _commit(self) -> None:
-        budget = self.cfg.width
+        rob = self.rob
+        if not rob:
+            return
+        budget = self._width
         now = self.now
-        retire_offset = self.cfg.retire_offset
+        retire_offset = self._retire_offset
         oracle = self.oracle
-        while budget and self.rob:
-            head = self.rob[0]
+        vp = self._vp
+        recycle_recs = not vp and not self._ideal_war
+        popleft = rob.popleft
+        pool = self._pool
+        rec_pool = self._rec_pool
+        committed = 0
+        while budget and rob:
+            head = rob[0]
             if not head.completed or now < head.complete_cycle + retire_offset:
                 break
-            self.rob.popleft()
+            popleft()
             head.committed = True
             op = head.op
             if oracle is not None:
                 oracle.on_commit(self, head)
-            if op.is_load or op.is_store:
+            if op.is_mem:
                 self.lsq.remove(head)
                 if op.is_store:
                     addr = op.mem_addr
-                    self.memory.store_access(addr)
+                    self.memory.dl1.access_latency(addr)
                     if oracle is not None:
                         oracle.on_store_commit(self, head, addr)
             if op.is_branch:
@@ -1087,9 +1318,25 @@ class Machine:
                 cls = op.dest_class
                 if self.rf[cls].gen_matches(head.prev_preg, head.prev_gen):
                     self._release_preg(cls, head.prev_preg)
-            self.stats.committed += 1
-            self._last_commit_cycle = now
+            committed += 1
             budget -= 1
+            # Recycle the InFlight object.  Safe once every source record
+            # is read: any reference that outlives commit (a scheduler
+            # waiter, a wheel event, an ideal-policy payload record) is
+            # neutralized by its token or read_done check, and the
+            # monotonic tokens survive reinit.  Virtual-physical mode is
+            # excluded: stale entries linger in the preg-waiter queues.
+            # Payload records recycle too — except under the ideal WAR
+            # policy, whose associative payload index may still reference
+            # them (it discriminates by read_done, which a recycled
+            # record resets).
+            if not vp and all(rec.read_done for rec in head.sources):
+                if recycle_recs:
+                    rec_pool.extend(head.sources)
+                pool.append(head)
+        if committed:
+            self.stats.committed += committed
+            self._last_commit_cycle = now
 
     # ========================================================== recovery
 

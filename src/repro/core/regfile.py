@@ -26,14 +26,41 @@ class RegState(enum.IntEnum):
     WRITTEN = 2  # result produced
 
 
+# Plain-int mirrors: the state array stores and compares these on the
+# per-instruction path (IntEnum equality carries avoidable overhead, and
+# member access is a class attribute lookup per use).
+_FREE = int(RegState.FREE)
+_ALLOC = int(RegState.ALLOC)
+_WRITTEN = int(RegState.WRITTEN)
+
+
 class PhysRegFile:
     """One class's physical register file plus its free list."""
+
+    __slots__ = (
+        "num_regs",
+        "name",
+        "free_list",
+        "state",
+        "gen",
+        "value",
+        "lreg",
+        "owner_seq",
+        "ready_select",
+        "pred_ready",
+        "inline_pending",
+        "retire_pending",
+        "alloc_cycle",
+        "write_cycle",
+        "last_read",
+        "allocated_count",
+    )
 
     def __init__(self, num_regs: int, name: str = "int") -> None:
         self.num_regs = num_regs
         self.name = name
         self.free_list = FreeList(range(num_regs))
-        self.state: List[int] = [RegState.FREE] * num_regs
+        self.state: List[int] = [_FREE] * num_regs
         self.gen: List[int] = [0] * num_regs
         self.value: List[int] = [0] * num_regs
         self.lreg: List[int] = [-1] * num_regs
@@ -64,7 +91,7 @@ class PhysRegFile:
         preg = self.free_list.allocate()
         if preg is None:
             return None
-        self.state[preg] = RegState.ALLOC
+        self.state[preg] = _ALLOC
         self.gen[preg] += 1
         self.lreg[preg] = lreg
         self.owner_seq[preg] = owner_seq
@@ -91,7 +118,7 @@ class PhysRegFile:
     # ------------------------------------------------------------ access
 
     def write(self, preg: int, value: int, cycle: int) -> None:
-        self.state[preg] = RegState.WRITTEN
+        self.state[preg] = _WRITTEN
         self.value[preg] = value
         self.write_cycle[preg] = cycle
 
@@ -105,7 +132,7 @@ class PhysRegFile:
     def release(self, preg: int, cycle: int, lifetimes: LifetimeStats = None) -> bool:
         """Free a register.  Duplicate releases (already free) return
         False and change nothing — the tolerance Section 3.2 requires."""
-        if self.state[preg] == RegState.FREE:
+        if self.state[preg] == _FREE:
             # Keep the free list's duplicate accounting consistent.
             self.free_list.release(preg)
             return False
@@ -118,7 +145,7 @@ class PhysRegFile:
                 self.last_read[preg],
                 cycle,
             )
-        self.state[preg] = RegState.FREE
+        self.state[preg] = _FREE
         self.inline_pending[preg] = False
         self.ready_select[preg] = NEVER
         self.pred_ready[preg] = NEVER
@@ -128,7 +155,7 @@ class PhysRegFile:
     # ----------------------------------------------------------- queries
 
     def is_free(self, preg: int) -> bool:
-        return self.state[preg] == RegState.FREE
+        return self.state[preg] == _FREE
 
     def gen_matches(self, preg: int, gen: int) -> bool:
         return self.gen[preg] == gen

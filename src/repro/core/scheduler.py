@@ -7,6 +7,19 @@ latency, so dependents can issue before the hit/miss outcome is known and
 must be verified at select (the machine replays them selectively if a
 source is not actually ready — Table 1's "speculative scheduling,
 selective recovery for latency mispredictions").
+
+Wait generations: every call to :meth:`Scheduler.park` starts a new wait
+generation by bumping the instruction's ``wait_token``.  Waiter-list
+registrations and the machine's timer events capture the token of the
+generation that created them; :meth:`wake` and :meth:`timer_wake` ignore
+deliveries whose token is stale.  Without this, a wakeup registered by an
+*earlier* park (or a timer scheduled before a verification failure sent
+the entry back to the queue) could decrement ``missing`` for the *current*
+generation — waking the entry before its operands are ready and silently
+skipping replay penalties.  The same guard makes recycled
+:class:`~repro.core.inflight.InFlight` objects safe: tokens increase
+monotonically across reuse, so registrations from an object's previous
+life can never wake its next one.
 """
 
 from __future__ import annotations
@@ -25,7 +38,8 @@ class Scheduler:
         self.capacity = capacity
         self.occupancy = 0
         self._ready: List[Tuple[int, InFlight]] = []  # (seq, instr) min-heap
-        self._waiters: Dict[Tuple[int, int], List[InFlight]] = {}
+        #: (class, preg) -> list of (instr, wait_token) registrations.
+        self._waiters: Dict[Tuple[int, int], List[Tuple[InFlight, int]]] = {}
         self.max_occupancy = 0
 
     @property
@@ -37,10 +51,11 @@ class Scheduler:
     def insert(self, instr: InFlight, unready: List[Tuple[RegClass, int]]) -> None:
         """Add a renamed instruction; ``unready`` lists (class, preg)
         operands whose producers have not yet broadcast."""
-        if not self.has_space:
+        if self.occupancy >= self.capacity:
             raise RuntimeError("scheduler overflow: caller must check has_space")
         self.occupancy += 1
-        self.max_occupancy = max(self.max_occupancy, self.occupancy)
+        if self.occupancy > self.max_occupancy:
+            self.max_occupancy = self.occupancy
         instr.in_scheduler = True
         self.park(instr, unready)
 
@@ -49,20 +64,39 @@ class Scheduler:
         instr: InFlight,
         unready: List[Tuple[RegClass, int]],
         extra_missing: int = 0,
-    ) -> None:
+    ) -> int:
         """(Re)register an already-resident entry to wait on operands.
 
         ``unready`` lists operands awaiting a producer broadcast;
         ``extra_missing`` counts operands whose readiness time is already
         known and will arrive via timer wakeups.  Used both at insert and
         when a select-time verification fails.
+
+        Starts a new wait generation and returns its token; the caller
+        must attach that token to any timer wakeups it schedules for this
+        park (see module docstring).  Registrations left behind by
+        earlier generations are ignored at delivery instead of mutating
+        ``instr.missing`` — the stale-wake bug this replaces let a
+        leftover timer from a pre-replay park count against the replay's
+        fresh wait and issue the entry before its penalty elapsed.
         """
+        token = instr.wait_token + 1
+        instr.wait_token = token
         instr.missing = len(unready) + extra_missing
         if instr.missing == 0:
-            self.push_ready(instr)
-            return
+            heapq.heappush(self._ready, (instr.seq, instr))
+            return token
+        waiters = self._waiters
         for reg_class, preg in unready:
-            self._waiters.setdefault((int(reg_class), preg), []).append(instr)
+            # IntEnum members hash and compare as their int values, so
+            # enum/int key mixing is consistent; skip the int() call.
+            key = (reg_class, preg)
+            bucket = waiters.get(key)
+            if bucket is None:
+                waiters[key] = [(instr, token)]
+            else:
+                bucket.append((instr, token))
+        return token
 
     def push_ready(self, instr: InFlight) -> None:
         heapq.heappush(self._ready, (instr.seq, instr))
@@ -71,30 +105,46 @@ class Scheduler:
 
     def wake(self, reg_class: RegClass, preg: int) -> None:
         """Broadcast: wake entries waiting on (class, preg)."""
-        waiters = self._waiters.pop((int(reg_class), preg), None)
+        waiters = self._waiters.pop((reg_class, preg), None)
         if not waiters:
             return
-        for instr in waiters:
-            if instr.squashed or not instr.in_scheduler:
+        push = heapq.heappush
+        ready = self._ready
+        for instr, token in waiters:
+            if (
+                instr.squashed
+                or not instr.in_scheduler
+                or instr.wait_token != token
+            ):
                 continue
             instr.missing -= 1
             if instr.missing <= 0:
-                self.push_ready(instr)
+                push(ready, (instr.seq, instr))
 
-    def timer_wake(self, instr: InFlight) -> None:
-        """A scheduled re-wake (known future readiness) arrived."""
+    def timer_wake(self, instr: InFlight, token: Optional[int] = None) -> None:
+        """A scheduled re-wake (known future readiness) arrived.
+
+        ``token`` is the wait generation the timer was scheduled under
+        (from :meth:`park`); a stale token is ignored.  ``None`` skips the
+        generation check (legacy callers/tests that manage ``missing``
+        directly).
+        """
         if instr.squashed or not instr.in_scheduler:
+            return
+        if token is not None and instr.wait_token != token:
             return
         instr.missing -= 1
         if instr.missing <= 0:
-            self.push_ready(instr)
+            heapq.heappush(self._ready, (instr.seq, instr))
 
     # ----------------------------------------------------------- select
 
     def pop_ready(self) -> Optional[InFlight]:
         """Oldest ready, live entry; None if none."""
-        while self._ready:
-            _, instr = heapq.heappop(self._ready)
+        ready = self._ready
+        pop = heapq.heappop
+        while ready:
+            _, instr = pop(ready)
             if instr.squashed or not instr.in_scheduler or instr.issued:
                 continue
             return instr

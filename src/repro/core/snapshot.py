@@ -41,12 +41,16 @@ from repro.core.inflight import InFlight, SourceRecord
 from repro.core.stats import SimStats
 from repro.isa.opcodes import RegClass
 from repro.rename.checkpoints import Checkpoint
-from repro.rename.map_table import EntryMode
 from repro.workloads.trace import Trace
 
 #: Schema version.  Bump on any change to the layout below; restore
 #: refuses mismatched versions rather than guessing.
-SNAPSHOT_VERSION = 1
+#:
+#: v2: the event heap became a timer wheel (events carry no counter and
+#: are stored in delivery order), _EV_TIMER payloads carry the wait
+#: generation token, scheduler waiter entries are [seq, token] pairs, and
+#: in-flight instructions serialize ``wait_token``.
+SNAPSHOT_VERSION = 2
 
 _CLASSES = ((RegClass.INT, "int"), (RegClass.FP, "fp"))
 
@@ -91,6 +95,7 @@ def _dump_instr(instr: InFlight) -> Dict:
         "squashed": instr.squashed,
         "committed": instr.committed,
         "issue_token": instr.issue_token,
+        "wait_token": instr.wait_token,
         "replays": instr.replays,
         "prediction": (
             None if pred is None else
@@ -110,8 +115,8 @@ def _dump_checkpoint(ckpt: Checkpoint) -> Dict:
     return {
         "branch_seq": ckpt.branch_seq,
         "snapshots": [
-            [int(cls), [[int(e.mode), e.value] for e in entries]]
-            for cls, entries in ckpt.snapshots.items()
+            [int(cls), [[m, v] for m, v in zip(modes, values)]]
+            for cls, (modes, values) in ckpt.snapshots.items()
         ],
         "gens": (
             None if ckpt.gens is None else
@@ -157,17 +162,19 @@ _EV_WAKE = 0
 _EV_TIMER = 4
 
 
-def _dump_event(event) -> list:
-    cycle, counter, kind, payload = event
-    if kind == _EV_WAKE:
-        cls, preg = payload
-        encoded = [int(cls), preg]
-    elif kind == _EV_TIMER:
-        encoded = payload.seq
-    else:  # READ / COMPLETE / RETIRE: (instr, token)
-        instr, token = payload
-        encoded = [instr.seq, token]
-    return [cycle, counter, kind, encoded]
+def _dump_events(wheel: Dict[int, list]) -> List[list]:
+    """Flatten the timer wheel in delivery order (cycle, bucket order)."""
+    out = []
+    for cycle in sorted(wheel):
+        for kind, payload in wheel[cycle]:
+            if kind == _EV_WAKE:
+                cls, preg = payload
+                encoded = [int(cls), preg]
+            else:  # READ / COMPLETE / RETIRE / TIMER: (instr, token)
+                instr, token = payload
+                encoded = [instr.seq, token]
+            out.append([cycle, kind, encoded])
+    return out
 
 
 def take_snapshot(machine) -> Dict:
@@ -206,9 +213,9 @@ def take_snapshot(machine) -> Dict:
 
     sched = machine.sched
     waiters = [
-        [key[0], key[1], [instr.seq for instr in instrs]]
-        for key, instrs in sched._waiters.items()
-        if instrs
+        [key[0], key[1], [[instr.seq, token] for instr, token in entries]]
+        for key, entries in sched._waiters.items()
+        if entries
     ]
 
     unit = machine.branch_unit
@@ -224,14 +231,14 @@ def take_snapshot(machine) -> Dict:
             "cycle_limit": machine._cycle_limit,
             "fetch_idx": machine._fetch_idx,
             "fetch_stall_until": machine._fetch_stall_until,
-            "ev_counter": machine._ev_counter,
             "next_vid": machine._next_vid,
         },
         "stats": machine.stats.to_dict(),
         "rf": {name: _dump_regfile(machine.rf[cls]) for cls, name in _CLASSES},
         "maps": {
-            name: [[int(e.mode), e.value]
-                   for e in machine.maps[cls]._entries]
+            name: [[m, v]
+                   for m, v in zip(machine.maps[cls].modes,
+                                   machine.maps[cls].values)]
             for cls, name in _CLASSES
         },
         "refcounts": {
@@ -276,7 +283,7 @@ def take_snapshot(machine) -> Dict:
             "waiters": waiters,
         },
         "lsq": {"forwards": machine.lsq.forwards},
-        "events": [_dump_event(ev) for ev in machine._events],
+        "events": _dump_events(machine._events),
         "consumer_records": consumer_records,
         "preg_waiters": {
             name: [instr.seq for instr in machine._preg_waiters[cls]]
@@ -329,6 +336,7 @@ def _load_instr(trace: Trace, data: Dict) -> InFlight:
     instr.squashed = data["squashed"]
     instr.committed = data["committed"]
     instr.issue_token = data["issue_token"]
+    instr.wait_token = data["wait_token"]
     instr.replays = data["replays"]
     pred = data["prediction"]
     if pred is not None:
@@ -340,13 +348,11 @@ def _load_instr(trace: Trace, data: Dict) -> InFlight:
 
 
 def _load_checkpoint(data: Dict) -> Checkpoint:
-    from repro.rename.map_table import MapEntry  # local: keep imports tight
-
-    snapshots = {
-        RegClass(cls): [MapEntry(EntryMode(mode), value)
-                        for mode, value in entries]
-        for cls, entries in data["snapshots"]
-    }
+    snapshots = {}
+    for cls, entries in data["snapshots"]:
+        modes = [mode for mode, _ in entries]
+        values = [value for _, value in entries]
+        snapshots[RegClass(cls)] = (modes, values)
     gens = None
     if data["gens"] is not None:
         gens = {RegClass(cls): list(values) for cls, values in data["gens"]}
@@ -423,6 +429,7 @@ def restore_snapshot(machine, data: Dict, trace: Trace) -> None:
             "(this one has already run)"
         )
     machine.trace = trace
+    machine._trace_ops = list(trace.ops)
 
     scalars = data["scalars"]
     machine.now = scalars["now"]
@@ -432,7 +439,6 @@ def restore_snapshot(machine, data: Dict, trace: Trace) -> None:
     machine._cycle_limit = scalars["cycle_limit"]
     machine._fetch_idx = scalars["fetch_idx"]
     machine._fetch_stall_until = scalars["fetch_stall_until"]
-    machine._ev_counter = scalars["ev_counter"]
     machine._next_vid = scalars["next_vid"]
     machine.stats = SimStats.from_dict(data["stats"])
 
@@ -442,9 +448,8 @@ def restore_snapshot(machine, data: Dict, trace: Trace) -> None:
         entries = data["maps"][name]
         if len(entries) != table.num_logical:
             raise SnapshotError(f"{name} map size mismatch")
-        for entry, (mode, value) in zip(table._entries, entries):
-            entry.mode = EntryMode(mode)
-            entry.value = value
+        table.modes[:] = [mode for mode, _ in entries]
+        table.values[:] = [value for _, value in entries]
         consumer, checkpoint, er_checkpoint = data["refcounts"][name]
         counts = machine.refcounts[cls]
         counts._consumer = list(consumer)
@@ -456,6 +461,13 @@ def restore_snapshot(machine, data: Dict, trace: Trace) -> None:
     by_branch = {
         c["branch_seq"]: _load_checkpoint(c) for c in ck_data["objects"]
     }
+    if machine.ckpts.track_refs:
+        # Pin lists are derived state (the pointer entries of the restored
+        # shadow maps, post-patching), not part of the snapshot payload.
+        for ckpt in by_branch.values():
+            ckpt.pins = {
+                cls: ckpt.pointer_entries(cls) for cls in ckpt.snapshots
+            }
     machine.ckpts._stack = [by_branch[s] for s in ck_data["stack"]]
     machine.ckpts._er_pending = [by_branch[s] for s in ck_data["er_pending"]]
     machine.ckpts.taken = ck_data["taken"]
@@ -495,10 +507,12 @@ def restore_snapshot(machine, data: Dict, trace: Trace) -> None:
         (seq, by_seq[seq]) for seq in sched_data["ready"] if seq in by_seq
     ]
     sched._waiters = {}
-    for cls, preg, seqs in sched_data["waiters"]:
-        instrs = [by_seq[s] for s in seqs if s in by_seq]
-        if instrs:
-            sched._waiters[(cls, preg)] = instrs
+    for cls, preg, entries in sched_data["waiters"]:
+        bucket = [
+            (by_seq[seq], token) for seq, token in entries if seq in by_seq
+        ]
+        if bucket:
+            sched._waiters[(cls, preg)] = bucket
 
     # LSQ membership is exactly the ROB's memory ops; rebuild the
     # store-forwarding index in program order.
@@ -514,25 +528,21 @@ def restore_snapshot(machine, data: Dict, trace: Trace) -> None:
                     instr.op.mem_addr, []
                 ).append(instr)
 
-    events = []
-    for cycle, counter, kind, payload in data["events"]:
+    # Events are stored in delivery order, so appending rebuilds each
+    # wheel bucket with its original insertion order.
+    wheel: Dict[int, list] = {}
+    for cycle, kind, payload in data["events"]:
         if kind == _EV_WAKE:
             cls, preg = payload
             decoded = (RegClass(cls), preg)
-        elif kind == _EV_TIMER:
-            instr = by_seq.get(payload)
-            if instr is None:
-                continue  # its handler would no-op (instruction gone)
-            decoded = instr
-        else:
+        else:  # READ / COMPLETE / RETIRE / TIMER: [seq, token]
             seq, token = payload
             instr = by_seq.get(seq)
             if instr is None:
-                continue
+                continue  # its handler would no-op (instruction gone)
             decoded = (instr, token)
-        events.append((cycle, counter, kind, decoded))
-    events.sort(key=lambda ev: (ev[0], ev[1]))
-    machine._events = events
+        wheel.setdefault(cycle, []).append((kind, decoded))
+    machine._events = wheel
 
     for records in machine._consumer_records.values():
         for cell in records:

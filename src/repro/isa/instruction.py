@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.isa.opcodes import OpClass, RegClass, is_branch, is_load, is_store
+from repro.isa.opcodes import IS_BRANCH, IS_LOAD, IS_MEM, IS_STORE, OpClass, RegClass
 
 
 class SourceOperand:
@@ -56,6 +56,10 @@ class MicroOp:
         "taken",
         "target",
         "is_indirect",
+        "is_branch",
+        "is_load",
+        "is_store",
+        "is_mem",
     )
 
     def __init__(
@@ -83,18 +87,13 @@ class MicroOp:
         self.taken = taken
         self.target = target
         self.is_indirect = is_indirect
-
-    @property
-    def is_branch(self) -> bool:
-        return is_branch(self.op)
-
-    @property
-    def is_load(self) -> bool:
-        return is_load(self.op)
-
-    @property
-    def is_store(self) -> bool:
-        return is_store(self.op)
+        # Kind flags, resolved once at construction: the pipeline reads
+        # these for every dynamic instance of the op, so they are plain
+        # attributes rather than properties over set membership.
+        self.is_branch = IS_BRANCH[op]
+        self.is_load = IS_LOAD[op]
+        self.is_store = IS_STORE[op]
+        self.is_mem = IS_MEM[op]
 
     @property
     def writes_register(self) -> bool:

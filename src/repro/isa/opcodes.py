@@ -71,6 +71,23 @@ _FP_CLASSES = frozenset(
     {OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV, OpClass.FP_LOAD, OpClass.FP_STORE}
 )
 
+#: Precomputed per-opcode tables, indexed by ``OpClass`` value.  The
+#: cycle-level core consults opcode kind and latency for every dynamic
+#: micro-op, so these are tuples (C-level indexing) rather than set
+#: membership tests or dict lookups.
+LATENCY_BY_CLASS = tuple(LATENCY[op] for op in OpClass)
+IS_BRANCH = tuple(op in _BRANCH_CLASSES for op in OpClass)
+IS_LOAD = tuple(op in _LOAD_CLASSES for op in OpClass)
+IS_STORE = tuple(op in _STORE_CLASSES for op in OpClass)
+IS_MEM = tuple(op in _LOAD_CLASSES or op in _STORE_CLASSES for op in OpClass)
+IS_FP = tuple(op in _FP_CLASSES for op in OpClass)
+DEST_REG_CLASS = tuple(
+    RegClass.FP
+    if op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV, OpClass.FP_LOAD)
+    else RegClass.INT
+    for op in OpClass
+)
+
 
 def is_branch(op: OpClass) -> bool:
     """Return True for control-transfer micro-ops."""

@@ -48,6 +48,12 @@ class Cache:
             raise ValueError(f"{name}: line size must be a power of two")
         self.next_level = next_level
         self.memory_latency = memory_latency
+        # Precomputed indexing constants: access_latency runs once per
+        # fetched instruction and per load/store, so the set mask and tag
+        # shift must not be re-derived per access.
+        self._set_mask = self.num_sets - 1
+        self._tag_shift = self.num_sets.bit_length() - 1
+        self._hit_latency = config.latency
         # sets[i] is an ordered list of tags; index 0 is MRU.
         self._sets = [[] for _ in range(self.num_sets)]
         self.hits = 0
@@ -56,32 +62,39 @@ class Cache:
     def lookup(self, addr: int) -> bool:
         """Check presence without updating LRU or statistics."""
         line = addr >> self.line_shift
-        tag = line >> (self.num_sets.bit_length() - 1)
-        entries = self._sets[line & (self.num_sets - 1)]
+        tag = line >> self._tag_shift
+        entries = self._sets[line & self._set_mask]
         return tag in entries
 
-    def access(self, addr: int) -> AccessResult:
-        """Access a line; allocate on miss; return composed latency."""
+    def access_latency(self, addr: int) -> int:
+        """Access a line; allocate on miss; return the composed latency.
+
+        The hot-path form of :meth:`access` — no result object."""
         line = addr >> self.line_shift
-        index = line & (self.num_sets - 1)
-        tag = line >> (self.num_sets.bit_length() - 1)
-        entries = self._sets[index]
+        tag = line >> self._tag_shift
+        entries = self._sets[line & self._set_mask]
         if tag in entries:
             if entries[0] != tag:
                 entries.remove(tag)
                 entries.insert(0, tag)
             self.hits += 1
-            return AccessResult(hit=True, latency=self.config.latency)
+            return self._hit_latency
         self.misses += 1
-        if self.next_level is not None:
-            below = self.next_level.access(addr)
-            latency = self.config.latency + below.latency
+        nxt = self.next_level
+        if nxt is not None:
+            latency = self._hit_latency + nxt.access_latency(addr)
         else:
-            latency = self.config.latency + self.memory_latency
+            latency = self._hit_latency + self.memory_latency
         entries.insert(0, tag)
         if len(entries) > self.assoc:
             entries.pop()
-        return AccessResult(hit=False, latency=latency)
+        return latency
+
+    def access(self, addr: int) -> AccessResult:
+        """Access a line; allocate on miss; return composed latency."""
+        misses_before = self.misses
+        latency = self.access_latency(addr)
+        return AccessResult(hit=self.misses == misses_before, latency=latency)
 
     @property
     def accesses(self) -> int:

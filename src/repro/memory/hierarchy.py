@@ -24,13 +24,13 @@ class MemoryHierarchy:
         self.dl1 = Cache("DL1", config.dl1, next_level=self.l2)
 
     def fetch_latency(self, pc: int) -> int:
-        return self.il1.access(pc).latency
+        return self.il1.access_latency(pc)
 
     def load_latency(self, addr: int) -> int:
-        return self.dl1.access(addr).latency
+        return self.dl1.access_latency(addr)
 
     def store_access(self, addr: int) -> int:
-        return self.dl1.access(addr).latency
+        return self.dl1.access_latency(addr)
 
     @property
     def dl1_hit_latency(self) -> int:

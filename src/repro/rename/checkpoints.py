@@ -22,14 +22,19 @@ For PRI's ``lazy`` policy, :meth:`CheckpointManager.patch_inlined` walks
 the live checkpoints and rewrites stale pointers to the inlined immediate
 (modelling the background copy logic of Section 3.2), dropping their
 resolve-scoped references so the register can free immediately.
+
+Shadow copies are stored as ``(modes, values)`` parallel ``int`` lists
+(the representation of :meth:`repro.rename.map_table.RenameMapTable.snapshot`)
+— a checkpoint is taken for *every* renamed branch, so creating it must
+be two C-level list copies, not per-entry object construction.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.isa.opcodes import RegClass
-from repro.rename.map_table import EntryMode, MapEntry, RenameMapTable
+from repro.rename.map_table import MODE_POINTER, RenameMapTable
 from repro.rename.refcount import RefCountTable
 
 
@@ -40,6 +45,7 @@ class Checkpoint:
         "branch_seq",
         "snapshots",
         "gens",
+        "pins",
         "ras",
         "history",
         "resolve_released",
@@ -48,11 +54,17 @@ class Checkpoint:
 
     def __init__(self, branch_seq, snapshots, ras, history, gens=None):
         self.branch_seq = branch_seq
-        #: Mapping RegClass -> list[MapEntry]
-        self.snapshots: Dict[RegClass, List[MapEntry]] = snapshots
+        #: Mapping RegClass -> (modes, values) parallel int lists.
+        self.snapshots: Dict[RegClass, Tuple[List[int], List[int]]] = snapshots
+        #: Mapping RegClass -> list of pregs this checkpoint holds
+        #: references on, computed once at take time (when the manager
+        #: tracks references) instead of re-scanning the shadow maps on
+        #: every release.  ``patch_inlined`` keeps it in sync.  ``None``
+        #: when references are untracked.
+        self.pins: Optional[Dict[RegClass, List[int]]] = None
         #: Mapping RegClass -> list[int], parallel to ``snapshots``: the
         #: allocation generation of each POINTER entry at snapshot time
-        #: (-1 for immediates, or when the manager has no ``gen_of``).
+        #: (-1 for immediates, or when the manager has no ``gen_source``).
         #: The auditor uses this to prove a checkpointed pointer still
         #: names the same allocation it was taken against.
         self.gens: Optional[Dict[RegClass, List[int]]] = gens
@@ -62,27 +74,30 @@ class Checkpoint:
         self.commit_released = False
 
     def pointer_entries(self, reg_class: RegClass) -> List[int]:
+        modes, values = self.snapshots[reg_class]
         return [
-            e.value
-            for e in self.snapshots[reg_class]
-            if e.mode == EntryMode.POINTER and e.value >= 0
+            v for m, v in zip(modes, values) if m == MODE_POINTER and v >= 0
         ]
 
     def pointer_items(self, reg_class: RegClass) -> List[tuple]:
         """(lreg, preg, snapshot_gen) for every live POINTER entry."""
+        modes, values = self.snapshots[reg_class]
         gens = self.gens[reg_class] if self.gens is not None else None
         return [
-            (lreg, e.value, gens[lreg] if gens is not None else -1)
-            for lreg, e in enumerate(self.snapshots[reg_class])
-            if e.mode == EntryMode.POINTER and e.value >= 0
+            (lreg, v, gens[lreg] if gens is not None else -1)
+            for lreg, (m, v) in enumerate(zip(modes, values))
+            if m == MODE_POINTER and v >= 0
         ]
 
 
 class CheckpointManager:
     """Bounded stack of checkpoints, oldest first.
 
-    ``on_unref(reg_class, preg)`` — if set — is invoked after any
-    reference drop, so the machine can re-check pending early frees.
+    ``on_unref(reg_class, preg)`` — if set — is invoked when a reference
+    drop brings that scope's count on ``preg`` to zero, so the machine
+    can re-check pending early frees.  (Drops that leave the count
+    positive cannot unblock a free: both PRI and ER freeing require the
+    relevant count to reach zero, so non-zero drops are not reported.)
     """
 
     def __init__(
@@ -92,17 +107,20 @@ class CheckpointManager:
         refcounts: Dict[RegClass, RefCountTable],
         track_er_refs: bool = False,
         track_refs: bool = True,
-        gen_of: Optional[Callable[[RegClass, int], int]] = None,
+        gen_source: Optional[Callable[[RegClass], List[int]]] = None,
     ) -> None:
         self.capacity = capacity
         self.maps = maps
         self.refcounts = refcounts
         self.track_er_refs = track_er_refs
         #: Disabled in virtual-physical mode, where map pointers name
-        #: unbounded virtual tags rather than physical registers.
+        #: unbounded virtual tags rather than physical registers — and in
+        #: plain baseline machines, where nothing ever consults the
+        #: counts (no PRI, no ER, no auditor).
         self.track_refs = track_refs
-        #: Allocation-generation reader for snapshot stamping (auditing).
-        self.gen_of = gen_of
+        #: Returns the live allocation-generation list of a class's
+        #: register file, read once per take for snapshot stamping.
+        self.gen_source = gen_source
         self.on_unref: Optional[Callable[[RegClass, int], None]] = None
         self._stack: List[Checkpoint] = []
         #: Checkpoints released from the stack (branch resolved) that
@@ -136,25 +154,30 @@ class CheckpointManager:
             return None
         snapshots = {cls: table.snapshot() for cls, table in self.maps.items()}
         gens = None
-        if self.gen_of is not None:
-            gens = {
-                cls: [
-                    self.gen_of(cls, e.value)
-                    if e.mode == EntryMode.POINTER and e.value >= 0
-                    else -1
-                    for e in entries
+        if self.gen_source is not None:
+            gens = {}
+            for cls, (modes, values) in snapshots.items():
+                gen_table = self.gen_source(cls)
+                gens[cls] = [
+                    gen_table[v] if m == MODE_POINTER and v >= 0 else -1
+                    for m, v in zip(modes, values)
                 ]
-                for cls, entries in snapshots.items()
-            }
         ckpt = Checkpoint(branch_seq, snapshots, ras, history, gens)
         if self.track_refs:
-            for cls in snapshots:
+            pins = {}
+            track_er = self.track_er_refs
+            for cls, (modes, values) in snapshots.items():
+                pinned = [
+                    v for m, v in zip(modes, values)
+                    if m == MODE_POINTER and v >= 0
+                ]
+                pins[cls] = pinned
                 counts = self.refcounts[cls]
-                for preg in ckpt.pointer_entries(cls):
-                    counts.add_checkpoint_ref(preg)
-                    if self.track_er_refs:
-                        counts.add_er_checkpoint_ref(preg)
-            if self.track_er_refs:
+                counts.add_checkpoint_refs(pinned)
+                if track_er:
+                    counts.add_er_checkpoint_refs(pinned)
+            ckpt.pins = pins
+            if track_er:
                 self._er_pending.append(ckpt)
         self._stack.append(ckpt)
         self.taken += 1
@@ -168,12 +191,16 @@ class CheckpointManager:
         ckpt.resolve_released = True
         if not self.track_refs:
             return
+        on_unref = self.on_unref
         for cls in ckpt.snapshots:
-            counts = self.refcounts[cls]
-            for preg in ckpt.pointer_entries(cls):
-                counts.drop_checkpoint_ref(preg)
-                if self.on_unref is not None:
-                    self.on_unref(cls, preg)
+            pinned = (
+                ckpt.pins[cls] if ckpt.pins is not None
+                else ckpt.pointer_entries(cls)
+            )
+            zeroed = self.refcounts[cls].drop_checkpoint_refs(pinned)
+            if on_unref is not None:
+                for preg in zeroed:
+                    on_unref(cls, preg)
 
     def _drop_commit_refs(self, ckpt: Checkpoint) -> None:
         if ckpt.commit_released or not self.track_er_refs or not self.track_refs:
@@ -184,12 +211,16 @@ class CheckpointManager:
             self._er_pending.remove(ckpt)
         except ValueError:
             pass
+        on_unref = self.on_unref
         for cls in ckpt.snapshots:
-            counts = self.refcounts[cls]
-            for preg in ckpt.pointer_entries(cls):
-                counts.drop_er_checkpoint_ref(preg)
-                if self.on_unref is not None:
-                    self.on_unref(cls, preg)
+            pinned = (
+                ckpt.pins[cls] if ckpt.pins is not None
+                else ckpt.pointer_entries(cls)
+            )
+            zeroed = self.refcounts[cls].drop_er_checkpoint_refs(pinned)
+            if on_unref is not None:
+                for preg in zeroed:
+                    on_unref(cls, preg)
 
     def release(self, ckpt: Checkpoint) -> None:
         """The branch resolved: the shadow map can never be a recovery
@@ -233,13 +264,16 @@ class CheckpointManager:
         counts = self.refcounts[reg_class]
         patched = 0
         for ckpt in self._stack:
-            for entry in ckpt.snapshots[reg_class]:
-                if entry.mode == EntryMode.POINTER and entry.value == preg:
-                    entry.mode = EntryMode.IMMEDIATE
-                    entry.value = value
+            modes, values = ckpt.snapshots[reg_class]
+            for lreg, (m, v) in enumerate(zip(modes, values)):
+                if m == MODE_POINTER and v == preg:
+                    modes[lreg] = 1  # MODE_IMMEDIATE
+                    values[lreg] = value
                     counts.drop_checkpoint_ref(preg)
                     if self.track_er_refs:
                         counts.drop_er_checkpoint_ref(preg)
+                    if ckpt.pins is not None:
+                        ckpt.pins[reg_class].remove(preg)
                     patched += 1
         self.patches_applied += patched
         return patched

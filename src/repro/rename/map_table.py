@@ -5,6 +5,13 @@ physical register inlining, each entry gains a mode bit: *pointer* mode
 holds a physical register number, *immediate* mode holds a narrow value
 directly.  The table is indexed by logical register number; shadow copies
 (checkpoints) are handled by :mod:`repro.rename.checkpoints`.
+
+Storage layout: the table keeps two parallel ``int`` lists (``modes``,
+``values``) rather than a list of entry objects.  The cycle-level core
+reads and checkpoints the map for every renamed instruction and branch,
+so snapshots must be C-level list copies, not per-entry object
+construction.  :class:`MapEntry` remains as the value type returned by
+:meth:`RenameMapTable.lookup` for callers outside the hot path.
 """
 
 from __future__ import annotations
@@ -20,6 +27,11 @@ class EntryMode(enum.IntEnum):
 
     POINTER = 0
     IMMEDIATE = 1
+
+
+#: Plain ints for the hot path (IntEnum comparison costs a method call).
+MODE_POINTER = int(EntryMode.POINTER)
+MODE_IMMEDIATE = int(EntryMode.IMMEDIATE)
 
 
 class MapEntry:
@@ -65,6 +77,10 @@ class RenameMapTable:
     convention differs: an FP register can be inlined only when its 64-bit
     pattern is all zeroes or all ones, so ``fp_mode=True`` switches the
     width check accordingly.
+
+    The ``modes`` and ``values`` lists are public on purpose: the rename
+    stage indexes them directly instead of materializing a
+    :class:`MapEntry` per source operand.
     """
 
     def __init__(self, num_logical: int, value_bits: int, fp_mode: bool = False) -> None:
@@ -73,20 +89,24 @@ class RenameMapTable:
         self.num_logical = num_logical
         self.value_bits = value_bits
         self.fp_mode = fp_mode
-        self._entries: List[MapEntry] = [
-            MapEntry(EntryMode.POINTER, -1) for _ in range(num_logical)
-        ]
+        self.modes: List[int] = [MODE_POINTER] * num_logical
+        self.values: List[int] = [-1] * num_logical
 
     # ------------------------------------------------------------- reads
 
     def lookup(self, lreg: int) -> MapEntry:
-        """Current mapping for a logical register (rename-stage read)."""
-        return self._entries[lreg]
+        """Current mapping for a logical register, as a value object.
+
+        Allocates a fresh :class:`MapEntry`; hot-path callers should read
+        ``modes[lreg]`` / ``values[lreg]`` directly.
+        """
+        return MapEntry(EntryMode(self.modes[lreg]), self.values[lreg])
 
     def pointer_of(self, lreg: int) -> int:
         """Physical register the entry points at, or -1 if inlined/unset."""
-        entry = self._entries[lreg]
-        return -1 if entry.is_immediate else entry.value
+        if self.modes[lreg] == MODE_IMMEDIATE:
+            return -1
+        return self.values[lreg]
 
     def value_fits(self, value: int) -> bool:
         """Would ``value`` fit in this map's immediate storage?"""
@@ -98,9 +118,8 @@ class RenameMapTable:
 
     def set_pointer(self, lreg: int, preg: int) -> None:
         """Rename-stage write: map ``lreg`` to physical register ``preg``."""
-        entry = self._entries[lreg]
-        entry.mode = EntryMode.POINTER
-        entry.value = preg
+        self.modes[lreg] = MODE_POINTER
+        self.values[lreg] = preg
 
     def set_immediate(self, lreg: int, value: int) -> None:
         """Force an entry to immediate mode (rename-stage write used by
@@ -108,9 +127,8 @@ class RenameMapTable:
         through :meth:`try_inline`)."""
         if not self.value_fits(value):
             raise ValueError(f"value {value:#x} does not fit in {self.value_bits} bits")
-        entry = self._entries[lreg]
-        entry.mode = EntryMode.IMMEDIATE
-        entry.value = value
+        self.modes[lreg] = MODE_IMMEDIATE
+        self.values[lreg] = value
 
     def try_inline(self, lreg: int, preg: int, value: int) -> bool:
         """Retire-stage late update with the WAW check of Figure 7.
@@ -122,30 +140,45 @@ class RenameMapTable:
         """
         if not self.value_fits(value):
             return False
-        entry = self._entries[lreg]
-        if entry.is_immediate or entry.value != preg:
+        if self.modes[lreg] == MODE_IMMEDIATE or self.values[lreg] != preg:
             return False
-        entry.mode = EntryMode.IMMEDIATE
-        entry.value = value
+        self.modes[lreg] = MODE_IMMEDIATE
+        self.values[lreg] = value
         return True
 
     # ------------------------------------------------------ checkpointing
 
-    def snapshot(self) -> List[MapEntry]:
-        """Shadow copy of the whole table (taken at each branch)."""
-        return [MapEntry(e.mode, e.value) for e in self._entries]
+    def snapshot(self) -> Tuple[List[int], List[int]]:
+        """Shadow copy of the whole table (taken at each branch): a
+        ``(modes, values)`` pair of fresh lists."""
+        return (self.modes[:], self.values[:])
 
-    def restore(self, snap: List[MapEntry]) -> None:
-        """Recover the table from a shadow copy (misprediction recovery)."""
+    def restore(self, snap) -> None:
+        """Recover the table from a shadow copy (misprediction recovery).
+
+        Accepts the ``(modes, values)`` pair produced by :meth:`snapshot`,
+        or a legacy list of :class:`MapEntry` objects.
+        """
+        if isinstance(snap, tuple):
+            modes, values = snap
+            if len(modes) != self.num_logical or len(values) != self.num_logical:
+                raise ValueError("snapshot size mismatch")
+            self.modes[:] = modes
+            self.values[:] = values
+            return
         if len(snap) != self.num_logical:
             raise ValueError("snapshot size mismatch")
-        for entry, saved in zip(self._entries, snap):
-            entry.mode = saved.mode
-            entry.value = saved.value
+        for lreg, saved in enumerate(snap):
+            self.modes[lreg] = int(saved.mode)
+            self.values[lreg] = saved.value
 
     def pointers(self) -> List[int]:
         """All physical registers currently named by POINTER entries."""
-        return [e.value for e in self._entries if not e.is_immediate and e.value >= 0]
+        return [
+            v
+            for m, v in zip(self.modes, self.values)
+            if m == MODE_POINTER and v >= 0
+        ]
 
     def __len__(self) -> int:
         return self.num_logical

@@ -66,6 +66,52 @@ class RefCountTable:
     def er_checkpoint_refs(self, preg: int) -> int:
         return self._er_checkpoint[preg]
 
+    # -------------------------------------------------- bulk operations
+    #
+    # Checkpoint take/release touches every pinned pointer of a class at
+    # once; these bulk forms keep that on the fast path (one call per
+    # class instead of one per register).  The drop forms return the
+    # registers whose count reached zero, which is exactly the set the
+    # free policies can act on.
+
+    def add_checkpoint_refs(self, pregs: List[int]) -> None:
+        counts = self._checkpoint
+        for preg in pregs:
+            counts[preg] += 1
+
+    def drop_checkpoint_refs(self, pregs: List[int]) -> List[int]:
+        """Drop one checkpoint ref per entry; return registers now at zero."""
+        counts = self._checkpoint
+        zeroed = []
+        for preg in pregs:
+            count = counts[preg]
+            if count <= 0:
+                raise RuntimeError(f"checkpoint refcount underflow on p{preg}")
+            count -= 1
+            counts[preg] = count
+            if count == 0:
+                zeroed.append(preg)
+        return zeroed
+
+    def add_er_checkpoint_refs(self, pregs: List[int]) -> None:
+        counts = self._er_checkpoint
+        for preg in pregs:
+            counts[preg] += 1
+
+    def drop_er_checkpoint_refs(self, pregs: List[int]) -> List[int]:
+        """Drop one ER checkpoint ref per entry; return registers now at zero."""
+        counts = self._er_checkpoint
+        zeroed = []
+        for preg in pregs:
+            count = counts[preg]
+            if count <= 0:
+                raise RuntimeError(f"ER checkpoint refcount underflow on p{preg}")
+            count -= 1
+            counts[preg] = count
+            if count == 0:
+                zeroed.append(preg)
+        return zeroed
+
     # ----------------------------------------------------------- queries
 
     def counts(self, preg: int) -> tuple:

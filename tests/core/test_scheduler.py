@@ -100,3 +100,61 @@ class TestPark:
     def test_wake_on_unwatched_register_is_noop(self):
         s = Scheduler(4)
         s.wake(RegClass.INT, 42)  # no waiters: nothing happens
+
+
+class TestWaitGenerations:
+    """Regression tests for the stale-wake bug: registrations and timers
+    left behind by an earlier park must never count against a later
+    park's wait (they used to decrement ``instr.missing`` directly,
+    waking replayed entries before their penalty elapsed)."""
+
+    def test_replay_with_empty_unready_discards_stale_timer(self):
+        s = Scheduler(4)
+        i = _instr(1)
+        s.insert(i, [])
+        assert s.pop_ready() is i
+        # Verification failure: re-park awaiting one timer wakeup.
+        old_token = s.park(i, [], extra_missing=1)
+        # Second failure before the timer fires: replay with an empty
+        # unready list.  The fresh park must leave the entry ready and
+        # missing consistent...
+        s.park(i, [], extra_missing=0)
+        assert i.missing == 0
+        # ...and the *stale* timer delivery must be ignored, not drive
+        # missing negative or double-ready the entry.
+        s.timer_wake(i, old_token)
+        assert i.missing == 0
+        assert s.pop_ready() is i
+        assert s.pop_ready() is None
+
+    def test_stale_timer_cannot_satisfy_new_wait(self):
+        s = Scheduler(4)
+        i = _instr(1)
+        s.insert(i, [])
+        assert s.pop_ready() is i
+        old_token = s.park(i, [], extra_missing=1)
+        # Replay with a genuine new wait before the old timer lands.
+        new_token = s.park(i, [], extra_missing=1)
+        assert new_token != old_token
+        # The leftover timer from the first park arrives: it must NOT
+        # count against the new generation's wait.
+        s.timer_wake(i, old_token)
+        assert i.missing == 1
+        assert s.pop_ready() is None
+        # Only the new generation's own timer releases the entry.
+        s.timer_wake(i, new_token)
+        assert s.pop_ready() is i
+
+    def test_stale_register_wakeup_ignored(self):
+        s = Scheduler(4)
+        i = _instr(1)
+        s.insert(i, [(RegClass.INT, 7)])
+        # Replay before the producer broadcasts: now waiting on a timer
+        # instead of the register.
+        token = s.park(i, [], extra_missing=1)
+        # The register broadcast from the first generation arrives.
+        s.wake(RegClass.INT, 7)
+        assert i.missing == 1
+        assert s.pop_ready() is None
+        s.timer_wake(i, token)
+        assert s.pop_ready() is i

@@ -4,7 +4,7 @@ patching."""
 
 from repro.isa.opcodes import RegClass
 from repro.rename.checkpoints import CheckpointManager
-from repro.rename.map_table import RenameMapTable
+from repro.rename.map_table import EntryMode, RenameMapTable
 from repro.rename.refcount import RefCountTable
 
 
@@ -117,8 +117,9 @@ class TestLazyPatching:
         ckpt = mgr.take(1, [], 0)
         patched = mgr.patch_inlined(RegClass.INT, 5, 42)
         assert patched == 1
-        entry = ckpt.snapshots[RegClass.INT][0]
-        assert entry.value == 42
+        modes, values = ckpt.snapshots[RegClass.INT]
+        assert modes[0] == int(EntryMode.IMMEDIATE)
+        assert values[0] == 42
         assert rc[RegClass.INT].checkpoint_refs(5) == 0
         assert rc[RegClass.INT].er_checkpoint_refs(5) == 0
 

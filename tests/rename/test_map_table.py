@@ -98,8 +98,9 @@ class TestCheckpointing:
 
     def test_snapshot_is_deep(self, table):
         table.set_pointer(0, 10)
-        snap = table.snapshot()
-        snap[0].value = 99
+        modes, values = table.snapshot()
+        modes[0] = int(EntryMode.IMMEDIATE)
+        values[0] = 99
         assert table.pointer_of(0) == 10
 
     def test_restore_size_check(self, table):
