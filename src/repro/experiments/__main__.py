@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import argparse
+import shlex
+import signal
 import sys
 import time
 
@@ -78,6 +80,31 @@ def main(argv=None) -> int:
                              "killed and the cell recorded as a timeout)")
     parser.add_argument("--retries", type=int, default=0, metavar="N",
                         help="retry crashed/timed-out cells up to N times")
+    parser.add_argument("--farm", default=None, metavar="DIR",
+                        help="run the sweep through the fault-tolerant "
+                             "farm (repro.farm) rooted at DIR: cells "
+                             "become durable leases, workers heartbeat "
+                             "and checkpoint, crashes resume mid-cell; "
+                             "attach extra workers from other shells "
+                             "with `python -m repro.farm worker DIR`")
+    parser.add_argument("--farm-workers", type=int, default=2, metavar="N",
+                        help="local worker processes the farm broker "
+                             "spawns (default 2; 0 = attached only)")
+    parser.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="SEC",
+                        help="reclaim a farm cell whose lease has not "
+                             "heartbeat for SEC seconds (default 30)")
+    parser.add_argument("--heartbeat", type=float, default=1.0,
+                        metavar="SEC",
+                        help="farm worker heartbeat cadence (default 1)")
+    parser.add_argument("--grace", type=float, default=5.0, metavar="SEC",
+                        help="seconds an evicted/drained farm worker "
+                             "gets to checkpoint and release (default 5)")
+    parser.add_argument("--farm-inject", action="append", default=[],
+                        metavar="FAULT[:worker=N][:cell=N][:cycles=N]",
+                        help="deterministically inject a farm fault "
+                             "(kill, stall, orphan, evict, double-lease); "
+                             "repeatable — used by the chaos suite")
     args = parser.parse_args(argv)
 
     figures = sorted(set(args.figure))
@@ -95,11 +122,19 @@ def main(argv=None) -> int:
                    checkpoint_dir=args.checkpoint_dir)
     widths = (args.width,) if args.width else (4, 8)
     matrix_opts = {}
-    if args.journal:
+    if args.journal or args.farm:
         from repro.experiments import SweepJournal
 
+        if args.farm and not args.journal:
+            # The farm keeps its journal inside its root; open it here
+            # so a damaged one is the same clean error --journal gets,
+            # not a traceback from deep inside the broker.
+            import os
+
+            os.makedirs(args.farm, exist_ok=True)
+        journal_file = args.journal or f"{args.farm}/journal.json"
         try:
-            matrix_opts["journal"] = SweepJournal(args.journal)
+            matrix_opts["journal"] = SweepJournal(journal_file)
         except ValueError as err:
             print(f"error: {err}", file=sys.stderr)
             return 1
@@ -107,6 +142,24 @@ def main(argv=None) -> int:
         matrix_opts["cell_timeout"] = args.cell_timeout
     if args.retries:
         matrix_opts["retries"] = args.retries
+    if args.farm:
+        from repro.farm import FarmSpec
+
+        farm_kwargs = {}
+        if args.checkpoint_every is not None:
+            farm_kwargs["checkpoint_every"] = args.checkpoint_every
+        matrix_opts["farm"] = FarmSpec(
+            root=args.farm, workers=args.farm_workers,
+            lease_ttl=args.lease_ttl, heartbeat_interval=args.heartbeat,
+            grace=args.grace, inject=tuple(args.farm_inject),
+            **farm_kwargs,
+        )
+
+        def farm_progress(report, active) -> None:
+            print(f"\r{report.progress_line(active)}   ",
+                  end="", file=sys.stderr, flush=True)
+
+        matrix_opts["farm_progress"] = farm_progress
 
     def emit(name: str, result) -> None:
         text = result.render()
@@ -119,35 +172,73 @@ def main(argv=None) -> int:
             with open(path, "w") as handle:
                 handle.write(text + "\n")
 
-    for number in tables:
-        start = time.time()
-        if number == 1:
-            result = table1()
-        else:
-            result = table2(spec, widths=widths)
-        emit(f"table{number}", result)
-        print(f"[table {number}: {time.time() - start:.1f}s]\n")
-    for number in figures:
-        start = time.time()
-        try:
-            if number == 2:
-                result = figure2(length=max(args.length, 10000), seed=args.seed)
-            elif number == 9:
-                result = _FIGURES[number](spec, widths=widths)
+    # A drained sweep must be resumable with the exact same invocation:
+    # completed cells are journaled, so re-running skips them.
+    resume_command = "python -m repro.experiments " + " ".join(
+        shlex.quote(a) for a in (argv if argv is not None else sys.argv[1:])
+    )
+    journal_path = args.journal or (
+        f"{args.farm}/journal.json" if args.farm else None
+    )
+
+    def _sigterm(signum, frame):
+        # Route SIGTERM (spot eviction, CI cancellation) through the
+        # same drain path as Ctrl-C.
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        for number in tables:
+            start = time.time()
+            if number == 1:
+                result = table1()
             else:
-                result = _FIGURES[number](spec, widths=widths, jobs=args.jobs,
-                                          matrix_opts=matrix_opts)
-        except MatrixError as err:
-            print(f"figure {number} failed: {len(err.errors)} sweep cell(s) "
-                  "did not complete:", file=sys.stderr)
-            for record in err.errors:
-                print(f"  {record}", file=sys.stderr)
-            if args.journal:
-                print(f"(completed cells are journaled in {args.journal}; "
-                      "re-run to resume)", file=sys.stderr)
-            return 1
-        emit(f"figure{number}", result)
-        print(f"[figure {number}: {time.time() - start:.1f}s]\n")
+                result = table2(spec, widths=widths)
+            emit(f"table{number}", result)
+            print(f"[table {number}: {time.time() - start:.1f}s]\n")
+        for number in figures:
+            start = time.time()
+            try:
+                if number == 2:
+                    result = figure2(length=max(args.length, 10000),
+                                     seed=args.seed)
+                elif number == 9:
+                    result = _FIGURES[number](spec, widths=widths)
+                else:
+                    result = _FIGURES[number](spec, widths=widths,
+                                              jobs=args.jobs,
+                                              matrix_opts=matrix_opts)
+            except MatrixError as err:
+                print(f"figure {number} failed: {len(err.errors)} sweep "
+                      "cell(s) did not complete:", file=sys.stderr)
+                for record in err.errors:
+                    print(f"  {record}", file=sys.stderr)
+                if journal_path:
+                    print(f"(completed cells are journaled in "
+                          f"{journal_path}; re-run to resume)",
+                          file=sys.stderr)
+                return 1
+            if args.farm:
+                print(file=sys.stderr)  # end the live progress line
+            emit(f"figure{number}", result)
+            print(f"[figure {number}: {time.time() - start:.1f}s]\n")
+    except KeyboardInterrupt:
+        # In-flight cells were drained (farm broker / isolated-cell pool
+        # handle that on the way out) and every finished cell is already
+        # journaled; tell the user how to pick the sweep back up.
+        print("\ninterrupted: sweep drained cleanly.", file=sys.stderr)
+        if journal_path:
+            print(f"  completed cells are journaled in {journal_path}",
+                  file=sys.stderr)
+            print(f"  resume with: {resume_command}", file=sys.stderr)
+        else:
+            print("  (no --journal/--farm given, so completed cells were "
+                  "not persisted; pass one to make sweeps resumable)",
+                  file=sys.stderr)
+            print(f"  re-run with: {resume_command}", file=sys.stderr)
+        return 130
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
     return 0
 
 

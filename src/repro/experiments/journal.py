@@ -32,6 +32,16 @@ last line — raises :class:`~repro.store.errors.DigestMismatch` and is
 repairable with ``python -m repro.store fsck --repair`` (the valid
 prefix is salvaged).
 
+Besides cell records (``{"key": ..., "cell": ...}``), a journal may
+carry **lease records** (``{"lease": {...}}``) — the durable audit
+trail of the sweep farm (:mod:`repro.farm`): one line per lease
+transition (``leased`` / ``heartbeat`` / ``completed`` / ``abandoned``
+/ ``released``), each checksummed exactly like a cell line, so
+``python -m repro.store fsck`` round-trips farmed journals unchanged.
+Lease records never affect which cells are restored — they are
+provenance, replayable to reconstruct who ran what, when, and how many
+times each cell was reclaimed.
+
 The header record carries a schema version.  Loading a journal written
 by a different version (including the v1/v2 whole-document JSON
 formats) raises by default; pass ``archive_incompatible=True`` to move
@@ -43,7 +53,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig, config_digest
 from repro.core.stats import SimStats
@@ -58,6 +68,18 @@ _VERSION = 3
 
 #: ``format`` tag of the journal header record (fsck's sniffing key).
 JOURNAL_FORMAT = "repro-sweep-journal"
+
+#: The lease state machine of the sweep farm (:mod:`repro.farm`), in
+#: lifecycle order.  ``leased`` — a worker claimed the cell;
+#: ``heartbeat`` — periodic liveness (journaled at a throttled rate);
+#: ``completed`` — the cell's result was folded; ``abandoned`` — the
+#: lease expired (crash/stall/timeout) and the cell became claimable
+#: again; ``released`` — the holder gave the cell back voluntarily
+#: (graceful drain or spot eviction) without completing it.
+LEASE_STATES = ("leased", "heartbeat", "completed", "abandoned", "released")
+
+#: Fields every journaled lease record must carry (fsck validates them).
+LEASE_FIELDS = ("key", "state", "worker", "ts")
 
 
 def stats_to_dict(stats: SimStats) -> Dict:
@@ -111,6 +133,9 @@ class SweepJournal:
     def __init__(self, path: str, archive_incompatible: bool = False) -> None:
         self.path = path
         self._cells: Dict[str, Dict] = {}
+        #: Every lease transition journaled so far, in append order (the
+        #: sweep farm's audit trail; see :data:`LEASE_STATES`).
+        self.lease_events: List[Dict] = []
         #: Path the incompatible predecessor was moved to, if any.
         self.archived: Optional[str] = None
         #: ``(line, reason)`` of a torn tail dropped at load, if any.
@@ -166,6 +191,9 @@ class SweepJournal:
                 path=path, kind="sweep-journal", line=result.bad_line,
             )
         for record in result.records[1:]:
+            if isinstance(record, dict) and "lease" in record:
+                self.lease_events.append(record["lease"])
+                continue
             if (
                 not isinstance(record, dict)
                 or "key" not in record
@@ -234,6 +262,16 @@ class SweepJournal:
             if cell.get("status") == "error"
         }
 
+    def lease_states(self) -> Dict[str, Dict]:
+        """key -> the *latest* journaled lease record per cell (replaying
+        :attr:`lease_events` in append order)."""
+        latest: Dict[str, Dict] = {}
+        for event in self.lease_events:
+            key = event.get("key")
+            if key is not None:
+                latest[key] = event
+        return latest
+
     # --------------------------------------------------------- updates
 
     def record_ok(self, key: str, stats: SimStats) -> None:
@@ -242,14 +280,33 @@ class SweepJournal:
     def record_error(self, key: str, error: Dict) -> None:
         self._record(key, {"status": "error", "error": error})
 
+    def record_lease(self, event: Dict, *, durable: bool = True) -> None:
+        """Append one lease-transition record (see :data:`LEASE_STATES`).
+
+        ``event`` must carry at least :data:`LEASE_FIELDS`; the farm's
+        broker is the only writer.  ``durable=False`` skips the fsync —
+        used for throttled heartbeat lines, where losing the last one in
+        a crash costs nothing (the next load still sees the grant)."""
+        missing = [f for f in LEASE_FIELDS if f not in event]
+        if missing:
+            raise ValueError(f"lease record lacks fields: {missing}")
+        if event["state"] not in LEASE_STATES:
+            raise ValueError(f"unknown lease state {event['state']!r}")
+        self.lease_events.append(event)
+        self._append({"lease": event}, durable=durable)
+
     def _record(self, key: str, cell: Dict) -> None:
         self._cells[key] = cell
+        self._append({"key": key, "cell": cell})
+
+    def _append(self, record: Dict, *, durable: bool = True) -> None:
         if not self._initialized:
             self._rewrite()
             return
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(checked_line({"key": key, "cell": cell}))
-            fsync_file(handle)
+            handle.write(checked_line(record))
+            if durable:
+                fsync_file(handle)
 
     def _rewrite(self) -> None:
         """Atomically (re)write the whole journal: first record, or
@@ -258,4 +315,6 @@ class SweepJournal:
             handle.write(checked_line(_header_record()))
             for key, cell in self._cells.items():
                 handle.write(checked_line({"key": key, "cell": cell}))
+            for event in self.lease_events:
+                handle.write(checked_line({"lease": event}))
         self._initialized = True

@@ -37,7 +37,15 @@ from repro.config import (
 from repro.core.machine import Machine, SimulationError, simulate
 from repro.core.stats import SimStats
 from repro.experiments.journal import SweepJournal, cell_key
+from repro.farm.lease import FarmSpec, backoff_delay
 from repro.workloads import SPEC_FP, SPEC_INT, Trace, generate_trace
+
+#: Ceiling (seconds) on the jittered exponential retry backoff.
+BACKOFF_CAP = 30.0
+
+#: Wall-clock grace an interrupted sweep gives in-flight cells to hand
+#: over results already in the pipe before they are terminated.
+_DRAIN_GRACE = 2.0
 
 
 def _with_inf_regs(config: MachineConfig) -> MachineConfig:
@@ -152,10 +160,22 @@ def checkpoint_path(benchmark: str, scheme: str, width: int, spec: RunSpec) -> s
 
 
 def _run_checkpointed(
-    config: MachineConfig, trace: Trace, path: str, spec: RunSpec
+    config: MachineConfig,
+    trace: Trace,
+    path: str,
+    spec: RunSpec,
+    cycle_hook: Optional[Callable] = None,
+    on_resume: Optional[Callable[[int], None]] = None,
 ) -> SimStats:
     """Run one cell with periodic snapshots, resuming from ``path`` when
-    a compatible checkpoint survives a previous crashed attempt."""
+    a compatible checkpoint survives a previous crashed attempt.
+
+    ``cycle_hook(machine)`` is attached as an extra per-cycle hook —
+    the sweep farm uses it for lease heartbeats, eviction checks, and
+    fault injection.  ``on_resume(cycle)`` reports the cycle the run
+    actually started from: 0 for a cold start, the checkpoint's cycle
+    when a previous attempt's snapshot was restored.
+    """
     from repro.core.snapshot import (  # lazy: optional machinery
         SnapshotError,
         load_snapshot,
@@ -185,12 +205,18 @@ def _run_checkpointed(
     interval = spec.checkpoint_every
 
     def hook(m) -> None:
-        if m.now % interval == 0:
+        if interval and m.now % interval == 0:
             # save_snapshot is atomic and durable (repro.store): a crash
             # at any instant leaves the previous checkpoint intact.
             save_snapshot(take_snapshot(m), path)
 
     machine.add_cycle_hook(hook)
+    if cycle_hook is not None:
+        # After the checkpoint hook: a cycle_hook that raises (eviction,
+        # injected fault) never skips a due snapshot at the same cycle.
+        machine.add_cycle_hook(cycle_hook)
+    if on_resume is not None:
+        on_resume(machine.now if resumed else 0)
     if resumed:
         stats = machine.resume(max_cycles=spec.max_cycles)
     else:
@@ -416,8 +442,13 @@ def _run_cells_isolated(
                 cell.attempts, elapsed,
             )
         if cell.attempts <= retries:
-            cell.not_before = time.monotonic() + retry_backoff * (
-                2 ** (cell.attempts - 1)
+            # Jittered and capped: a mass failure (OOM storm, shared-host
+            # stall) fans back in spread over [cap/2, cap) instead of
+            # thundering back as one herd, and the delay can never grow
+            # unbounded with the attempt count.
+            cell.not_before = time.monotonic() + backoff_delay(
+                cell.attempts, retry_backoff, cap=BACKOFF_CAP,
+                token=f"{cell.benchmark}|{cell.scheme}",
             )
             pending.append(cell)
         else:
@@ -478,6 +509,24 @@ def _run_cells_isolated(
                         entry.proc.kill()
                         entry.proc.join(5)
                     finish(entry, kind="timeout")
+    except KeyboardInterrupt:
+        # Graceful drain: stop launching, give cells already in flight a
+        # short grace to deliver finished results (which land in the
+        # journal through on_cell_done as usual), then let the finally
+        # clause terminate the rest and re-raise so the caller can print
+        # the resume command.
+        deadline = time.monotonic() + _DRAIN_GRACE
+        while running and time.monotonic() < deadline:
+            ready = mp_connection.wait(
+                list(running), timeout=max(0.0, deadline - time.monotonic())
+            )
+            if not ready:
+                break
+            for sentinel in ready:
+                entry = running.pop(sentinel)
+                entry.proc.join()
+                finish(entry)
+        raise
     finally:
         for entry in running.values():
             entry.proc.terminate()
@@ -498,6 +547,8 @@ def run_matrix(
     retry_backoff: float = 0.5,
     journal: Optional[Union[str, SweepJournal]] = None,
     cell_fn: Optional[Callable] = None,
+    farm: Optional[FarmSpec] = None,
+    farm_progress: Optional[Callable] = None,
 ) -> Dict[str, Dict[str, MatrixCell]]:
     """Simulate a benchmark x scheme matrix; returns [benchmark][scheme].
 
@@ -532,11 +583,25 @@ def run_matrix(
 
     ``cell_fn`` overrides the per-cell simulation callable (signature of
     :func:`run_one`); it exists for fault-injection tests.
+
+    ``farm`` (a :class:`~repro.farm.lease.FarmSpec`) hands execution to
+    the fault-tolerant sweep farm (:mod:`repro.farm`): cells become
+    durable lease records in a shared directory, stateless workers —
+    broker-spawned locally, or attached from other shells/hosts with
+    ``python -m repro.farm worker <root>`` — lease, heartbeat, and
+    checkpoint them, and expired leases are reclaimed and resumed from
+    the latest checkpoint rather than restarted.  The journal defaults
+    to ``<farm.root>/journal.json`` and additionally carries the lease
+    audit trail.  ``farm_progress(report, active_leases)`` is invoked
+    periodically with the live :class:`~repro.farm.aggregate.FarmReport`.
     """
     if on_error not in ("raise", "record"):
         raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     spec = spec or RunSpec()
+    user_cell_fn = cell_fn
     cell_fn = cell_fn or run_one
+    if journal is None and farm is not None:
+        journal = farm.paths.journal
     if journal is None or isinstance(journal, SweepJournal):
         sweep_journal = journal
     else:
@@ -569,7 +634,16 @@ def run_matrix(
     isolate = bool(todo) and (
         jobs > 1 or cell_timeout is not None or retries > 0
     )
-    if isolate:
+    if farm is not None and todo:
+        from repro.farm.broker import run_cells_farm  # lazy: reverse edge
+
+        run_cells_farm(
+            todo, width, spec, farm, sweep_journal, on_cell_done,
+            cell_timeout=cell_timeout, retries=retries,
+            retry_backoff=retry_backoff, cell_fn=user_cell_fn,
+            on_progress=farm_progress,
+        )
+    elif isolate:
         _run_cells_isolated(
             todo, width, spec, jobs, cell_timeout, retries, retry_backoff,
             cell_fn, on_cell_done,

@@ -1,0 +1,64 @@
+"""Fault-tolerant sweep farm: lease-based broker/worker cells.
+
+A sweep is decomposed into (benchmark x scheme x config) *cells*; a
+**broker** (:mod:`repro.farm.broker`) publishes them into a shared
+journal directory, **stateless workers** (:mod:`repro.farm.worker`)
+lease cells with a TTL, heartbeat while simulating, checkpoint mid-cell
+through :mod:`repro.core.snapshot`, and stream results back through the
+:mod:`repro.store` envelope; an **aggregator**
+(:mod:`repro.farm.aggregate`) folds each cell exactly once into the
+figures.  Expired leases are reclaimed and *resumed from the latest
+checkpoint*, never restarted; SIGTERM is treated as a spot-eviction
+notice with a checkpoint-and-release grace budget; and a deterministic
+fault-injection registry (:mod:`repro.farm.inject`) lets the chaos
+suite kill, stall, orphan, evict, and double-lease workers on purpose.
+
+Entry points: ``run_matrix(..., farm=FarmSpec(root))`` drives any
+existing sweep through the farm; ``python -m repro.farm worker <root>``
+attaches an extra worker from another shell or host sharing the root;
+``python -m repro.farm status <root>`` reports live progress without
+touching any farm state.
+"""
+
+from repro.farm.aggregate import Aggregator, FarmReport
+from repro.farm.inject import FAULTS, FarmFault, InjectPlan, WorkerChaos
+from repro.farm.lease import (
+    CellResult,
+    CellSpec,
+    FarmPaths,
+    FarmSpec,
+    Lease,
+    LeaseLost,
+    backoff_delay,
+    cid_of,
+)
+from repro.farm.worker import WorkerOptions, worker_loop
+
+__all__ = [
+    "Aggregator",
+    "FarmReport",
+    "FAULTS",
+    "FarmFault",
+    "InjectPlan",
+    "WorkerChaos",
+    "CellResult",
+    "CellSpec",
+    "FarmPaths",
+    "FarmSpec",
+    "Lease",
+    "LeaseLost",
+    "backoff_delay",
+    "cid_of",
+    "WorkerOptions",
+    "worker_loop",
+    "run_cells_farm",
+]
+
+
+def run_cells_farm(*args, **kwargs):
+    """Lazy re-export of :func:`repro.farm.broker.run_cells_farm` (the
+    broker's imports reach back into the runner, which imports this
+    package — keep the heavy edge out of import time)."""
+    from repro.farm.broker import run_cells_farm as _run
+
+    return _run(*args, **kwargs)

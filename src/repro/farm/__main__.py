@@ -1,0 +1,154 @@
+"""CLI for the sweep farm: attach workers, inspect live farms.
+
+``python -m repro.farm worker <root>``
+    Attach one stateless worker to a farm rooted at ``<root>`` — from
+    another shell, or another host sharing the directory.  The worker
+    leases cells, heartbeats, checkpoints, and exits when every
+    published cell has a result (or on SIGTERM, after checkpointing).
+
+``python -m repro.farm status <root>``
+    Read-only progress report: published/leased/completed cells, live
+    lease ages, and the journaled lease history.  Never writes — safe
+    to run against a farm mid-sweep.
+
+``python -m repro.farm faults``
+    List the registered chaos faults (:mod:`repro.farm.inject`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.farm.inject import FAULTS
+from repro.farm.lease import (
+    FarmPaths,
+    list_cells,
+    list_leases,
+    list_results,
+    read_lease,
+)
+from repro.farm.worker import WorkerOptions, worker_loop
+from repro.store import ArtifactError
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    options = WorkerOptions(
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat,
+        poll_interval=args.poll,
+        checkpoint_every=args.checkpoint_every,
+        oneshot=args.oneshot,
+    )
+    worker_id = args.name or f"w{os.getpid()}"
+    return worker_loop(args.root, worker_id, options)
+
+
+def _journal_tail(path: str):
+    """Lease history from the journal, without ever writing to it (a
+    live broker owns the file; SweepJournal's torn-tail salvage would
+    rewrite it underneath them)."""
+    from repro.store.integrity import read_checked_lines
+
+    if not os.path.exists(path):
+        return []
+    result = read_checked_lines(path)
+    return [r["lease"] for r in result.records
+            if isinstance(r, dict) and "lease" in r]
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    paths = FarmPaths(args.root)
+    cells = list_cells(paths)
+    results = list_results(paths)
+    now = time.time()
+    leases = []
+    for cid in list_leases(paths):
+        try:
+            lease = read_lease(paths.lease(cid))
+        except (ArtifactError, OSError):
+            leases.append({"cid": cid, "state": "unreadable"})
+            continue
+        leases.append({
+            "cid": cid, "worker": lease.worker, "attempt": lease.attempt,
+            "state": lease.state, "age": round(lease.age(now), 2),
+            "ttl": lease.ttl, "cycle": lease.cycle,
+            "committed": lease.committed,
+        })
+    events = _journal_tail(paths.journal)
+    summary = {
+        "root": args.root,
+        "cells": len(cells),
+        "with_result": len(results),
+        "leased": len(leases),
+        "lease_events": len(events),
+    }
+    if args.json:
+        print(json.dumps({**summary, "leases": leases,
+                          "recent": events[-args.tail:]}, indent=2))
+        return 0
+    print(f"farm {args.root}: {summary['with_result']}/{summary['cells']} "
+          f"cells have results, {summary['leased']} leased, "
+          f"{summary['lease_events']} journaled lease events")
+    for lease in leases:
+        if lease.get("state") == "unreadable":
+            print(f"  {lease['cid']}  UNREADABLE lease file")
+            continue
+        print(f"  {lease['cid']}  {lease['worker']:>8}  attempt "
+              f"{lease['attempt']}  {lease['state']:<9} "
+              f"age {lease['age']:>6.2f}s / ttl {lease['ttl']:.0f}s  "
+              f"cycle {lease['cycle']}  committed {lease['committed']}")
+    for event in events[-args.tail:]:
+        print(f"  [journal] {event.get('state', '?'):<9} "
+              f"{event.get('worker', '?'):>8}  {event.get('key', '?')}")
+    return 0
+
+
+def _cmd_faults(_args: argparse.Namespace) -> int:
+    for name in sorted(FAULTS):
+        fault = FAULTS[name]
+        print(f"{name:<13} {fault.description}")
+        print(f"{'':<13} expect: {fault.expect}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.farm",
+        description="Fault-tolerant sweep farm: attach workers, inspect "
+        "live farms, list injectable faults.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    worker = sub.add_parser("worker", help="attach a worker to a farm root")
+    worker.add_argument("root", help="shared farm directory")
+    worker.add_argument("--name", default=None,
+                        help="worker id (default: w<pid>)")
+    worker.add_argument("--lease-ttl", type=float, default=30.0)
+    worker.add_argument("--heartbeat", type=float, default=1.0)
+    worker.add_argument("--poll", type=float, default=0.2)
+    worker.add_argument("--checkpoint-every", type=int, default=2000,
+                        metavar="CYCLES")
+    worker.add_argument("--oneshot", action="store_true",
+                        help="exit after completing one cell")
+    worker.set_defaults(func=_cmd_worker)
+
+    status = sub.add_parser("status", help="read-only farm progress")
+    status.add_argument("root")
+    status.add_argument("--json", action="store_true")
+    status.add_argument("--tail", type=int, default=8,
+                        help="journaled lease events to show")
+    status.set_defaults(func=_cmd_status)
+
+    faults = sub.add_parser("faults", help="list injectable chaos faults")
+    faults.set_defaults(func=_cmd_faults)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,426 @@
+"""The farm broker: publish cells, watch leases, reclaim, fold.
+
+The broker is the farm's only *journal* writer and its only *reclaimer*;
+workers only ever touch their own lease file.  That asymmetry keeps the
+concurrency story auditable:
+
+* **publish** — every (benchmark, scheme) cell becomes a durable
+  :class:`~repro.farm.lease.CellSpec` envelope under ``cells/``, plus a
+  checksummed ``leased``/``heartbeat``/``completed``/``abandoned``/
+  ``released`` line in the sweep journal for each transition it
+  observes, so ``fsck`` round-trips the whole history;
+* **watch** — polls the lease directory; journals new grants, relays
+  throttled heartbeat lines (non-durable — losing the last one costs
+  nothing), and detects expiry (no heartbeat within the TTL) and
+  wall-clock timeout;
+* **reclaim** — an expired/timed-out/evicted lease is journaled
+  ``abandoned`` (or ``released``), the cell's attempt is bumped and
+  fenced with a jittered, capped backoff
+  (:func:`~repro.farm.lease.backoff_delay`), and — crucially — the cell
+  spec is rewritten *before* the lease file is deleted, so no worker can
+  claim the stale attempt in between.  If a checkpoint exists at reclaim
+  time the attempt is marked *must-resume*: a subsequent completion that
+  started from cycle 0 is counted as a ``cold_restart`` (the chaos suite
+  pins that counter to zero).  When the retry budget is exhausted the
+  broker streams a terminal error result itself, so workers' exit
+  condition (every cell has a result) still converges;
+* **fold** — streams results through
+  :class:`~repro.farm.aggregate.Aggregator` exactly once per cell into
+  ``on_cell_done`` (the same callback :func:`run_matrix` uses for its
+  in-process paths, so journaling and figure assembly are identical),
+  verifying zombie duplicates bit-identically;
+* **drain** — on completion, Ctrl-C, or SIGTERM, live local workers get
+  a SIGTERM and ``grace`` seconds to checkpoint-and-release before
+  being killed; still-held leases are journaled ``released`` so the
+  next run reclaims them instantly instead of waiting out the TTL.
+
+Local workers are fork-spawned processes; *attached* workers (other
+shells or hosts sharing the root — ``python -m repro.farm worker
+<root>``) participate identically, because every protocol step above is
+a filesystem operation, not an in-process one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.stats import SimStats
+from repro.farm.aggregate import Aggregator, FarmReport
+from repro.farm.inject import InjectPlan, chaos_for_worker
+from repro.farm.lease import (
+    ArtifactError,
+    CellResult,
+    CellSpec,
+    FarmSpec,
+    backoff_delay,
+    cid_of,
+    iter_results,
+    list_cells,
+    list_leases,
+    read_cell,
+    read_lease,
+    read_result,
+    write_cell,
+    write_result,
+)
+from repro.farm.worker import WorkerOptions, _worker_entry
+
+
+def _normalize_plans(inject) -> Tuple[InjectPlan, ...]:
+    plans = []
+    for entry in inject or ():
+        if isinstance(entry, InjectPlan):
+            plans.append(entry)
+        elif isinstance(entry, str):
+            plans.append(InjectPlan.parse(entry))
+        elif isinstance(entry, dict):
+            plans.append(InjectPlan.from_dict(entry))
+        else:
+            raise TypeError(f"bad inject entry {entry!r}")
+    return tuple(plans)
+
+
+def run_cells_farm(
+    cells: List[Tuple[str, str]],
+    width: int,
+    spec,
+    farm: FarmSpec,
+    journal,
+    on_cell_done: Callable,
+    *,
+    cell_timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff: float = 0.5,
+    cell_fn: Optional[Callable] = None,
+    on_progress: Optional[Callable[[FarmReport, int], None]] = None,
+) -> FarmReport:
+    """Drive ``cells`` through the farm; every finished cell reaches
+    ``on_cell_done(benchmark, scheme, SimStats-or-CellError)`` exactly
+    once.  Returns the final :class:`FarmReport`."""
+    # Lazy: the runner imports repro.farm.lease at module level, so the
+    # reverse edge must stay function-local to avoid an import cycle.
+    from repro.experiments.journal import cell_key
+    from repro.experiments.runner import (
+        CellError,
+        _mp_context,
+        checkpoint_path,
+    )
+
+    paths = farm.paths.ensure()
+    plans = _normalize_plans(farm.inject)
+    ckpt_spec = dataclasses.replace(spec, checkpoint_dir=paths.checkpoints)
+
+    # ---------------------------------------------------------- publish
+    published: Dict[str, CellSpec] = {}
+    meta: Dict[str, Tuple[str, str]] = {}  # cid -> (benchmark, scheme)
+    for benchmark, scheme in cells:
+        key = cell_key(benchmark, scheme, width, spec)
+        cid = cid_of(key)
+        cell = CellSpec(
+            cid=cid, key=key, benchmark=benchmark, scheme=scheme,
+            width=width, spec=dataclasses.asdict(spec),
+        )
+        cell_path = paths.cell(cid)
+        if os.path.exists(cell_path):
+            try:
+                prior = read_cell(cell_path)
+                if prior.key == key:
+                    # Resumed farm root: keep the attempt counter and
+                    # backoff fence from the interrupted run.
+                    cell = prior
+            except (ArtifactError, OSError):
+                pass  # damaged spec: republish fresh
+        write_cell(paths, cell)
+        published[cid] = cell
+        meta[cid] = (benchmark, scheme)
+    # Prune cells from an earlier sweep that are no longer wanted (for
+    # example, already journaled as complete) so workers never run them.
+    for cid in list_cells(paths):
+        if cid not in published:
+            for stale in (paths.cell(cid), paths.lease(cid)):
+                try:
+                    os.unlink(stale)
+                except OSError:
+                    pass
+
+    report = FarmReport(cells=len(published))
+    agg = Aggregator(report)
+    seen_results: Set[str] = set()
+    known_leases: Dict[str, Tuple[str, int]] = {}
+    journal_hb_at: Dict[str, float] = {}
+
+    def jlease(cell: CellSpec, state: str, worker: str, *,
+               durable: bool = True, **extra) -> None:
+        if journal is None:
+            return
+        event = {"key": cell.key, "state": state, "worker": worker,
+                 "ts": time.time(), **extra}
+        journal.record_lease(event, durable=durable)
+
+    # ---------------------------------------------------- local workers
+    ctx = _mp_context()
+    options = WorkerOptions(
+        lease_ttl=farm.lease_ttl,
+        heartbeat_interval=farm.heartbeat_interval,
+        poll_interval=farm.poll_interval,
+        checkpoint_every=farm.checkpoint_every,
+    )
+    procs: Dict[str, object] = {}
+    spawned: Set[str] = set()
+    next_index = 0
+
+    def spawn() -> None:
+        nonlocal next_index
+        # The pid suffix keeps ids unique across broker incarnations: a
+        # hard-killed broker's orphaned workers must never be mistaken
+        # for (or heartbeat as) this run's identically-numbered ones.
+        worker_id = f"w{next_index}.{os.getpid()}"
+        spawned.add(worker_id)
+        chaos = chaos_for_worker(plans, next_index)
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(farm.root, worker_id, options, chaos, cell_fn),
+            daemon=True,
+        )
+        proc.start()
+        procs[worker_id] = proc
+        next_index += 1
+
+    # ------------------------------------------------------------- fold
+    def fold_new_results() -> None:
+        for cid, path in iter_results(paths):
+            if path in seen_results:
+                continue
+            seen_results.add(path)
+            if cid not in published:
+                continue
+            try:
+                result = read_result(path)
+            except (ArtifactError, OSError):
+                continue  # unreadable result: surfaced by fsck, not lost
+            if agg.fold(result) != "folded":
+                continue
+            cell = published[cid]
+            jlease(cell, "completed", result.worker,
+                   attempt=result.attempt, start_cycle=result.start_cycle)
+            benchmark, scheme = meta[cid]
+            if result.status == "ok":
+                on_cell_done(benchmark, scheme,
+                             SimStats.from_dict(result.stats))
+            else:
+                on_cell_done(benchmark, scheme, CellError(
+                    benchmark, scheme, result.kind or "error",
+                    result.error_type or "Error", result.message or "",
+                    result.attempt, result.elapsed,
+                ))
+
+    # ---------------------------------------------------------- reclaim
+    def reclaim(cid: str, lease, reason: str) -> None:
+        cell = published[cid]
+        new_attempt = max(cell.attempt, lease.attempt) + 1
+        voluntary = reason == "released"
+        if voluntary:
+            # Eviction and drain are infrastructure preemption, not cell
+            # failure: they never consume retry budget (and never back
+            # off — the cell is fine, re-run it at once).
+            cell.released += 1
+        retries_used = new_attempt - 1 - cell.released
+        lease_path = paths.lease(cid)
+        if retries_used > retries:
+            # Retry budget exhausted: the broker itself streams the
+            # terminal error so the workers' all-cells-have-results exit
+            # condition still converges.
+            kind = "timeout" if reason == "timeout" else "crash"
+            error_type = "TimeoutError" if kind == "timeout" else "LeaseExpired"
+            write_result(paths, CellResult(
+                cid=cid, key=cell.key, worker="broker",
+                attempt=lease.attempt, status="error", kind=kind,
+                error_type=error_type,
+                message=(f"lease {reason} on attempt {lease.attempt} "
+                         f"(held by {lease.worker!r}); retry budget of "
+                         f"{retries} exhausted"),
+            ))
+        else:
+            if os.path.exists(
+                checkpoint_path(cell.benchmark, cell.scheme, width, ckpt_spec)
+            ):
+                # A checkpoint survives this attempt: the next one MUST
+                # resume from it, never restart from cycle 0.
+                agg.expect_resume.add((cid, new_attempt))
+            cell.attempt = new_attempt
+            cell.not_before = time.time() if voluntary else (
+                time.time() + backoff_delay(
+                    max(1, retries_used), retry_backoff,
+                    cap=farm.backoff_cap, token=cell.key,
+                )
+            )
+            # Rewrite the spec while the lease file still exists: no
+            # worker can claim the stale attempt in the gap.
+            write_cell(paths, cell)
+        try:
+            os.unlink(lease_path)
+        except OSError:
+            pass
+        known_leases.pop(cid, None)
+
+    # ------------------------------------------------------------ watch
+    def scan_leases(now: float) -> int:
+        active = 0
+        for cid in list_leases(paths):
+            cell = published.get(cid)
+            if cell is None:
+                continue
+            lease_path = paths.lease(cid)
+            try:
+                lease = read_lease(lease_path)
+            except FileNotFoundError:
+                continue
+            except ArtifactError:
+                # Torn claim from a worker killed mid-create: reclaim it
+                # once it is older than the TTL (mtime is all we have).
+                try:
+                    stale = now - os.path.getmtime(lease_path) > farm.lease_ttl
+                except OSError:
+                    continue
+                if stale and not agg.is_folded(cid):
+                    report.reclaims += 1
+                    jlease(cell, "abandoned", "unknown", reason="unreadable")
+                    reclaim(cid, _TornLease(cid, cell), "expired")
+                continue
+            ident = (lease.worker, lease.attempt)
+            if known_leases.get(cid) != ident:
+                known_leases[cid] = ident
+                journal_hb_at[cid] = now
+                jlease(cell, "leased", lease.worker, attempt=lease.attempt,
+                       ttl=lease.ttl)
+            if agg.is_folded(cid):
+                # A zombie finishing a cell that is already folded: let
+                # it run — its duplicate result is verified, and drain
+                # cleans it up if it outlives the sweep.
+                continue
+            if lease.state == "released":
+                # Spot eviction hand-back: the worker checkpointed and
+                # marked the lease; reclaim with no TTL wait.
+                report.evictions += 1
+                jlease(cell, "released", lease.worker,
+                       attempt=lease.attempt, cycle=lease.cycle)
+                reclaim(cid, lease, "released")
+                continue
+            timed_out = (cell_timeout is not None
+                         and now - lease.granted_unix > cell_timeout)
+            if lease.expired(now) or timed_out:
+                reason = "timeout" if timed_out else "expired"
+                report.reclaims += 1
+                jlease(cell, "abandoned", lease.worker,
+                       attempt=lease.attempt, reason=reason,
+                       cycle=lease.cycle)
+                reclaim(cid, lease, reason)
+                continue
+            active += 1
+            if now - journal_hb_at.get(cid, 0.0) >= farm.journal_heartbeat_every:
+                journal_hb_at[cid] = now
+                jlease(cell, "heartbeat", lease.worker, durable=False,
+                       attempt=lease.attempt, cycle=lease.cycle,
+                       committed=lease.committed)
+        return active
+
+    def reap_and_respawn() -> None:
+        unfinished = len(agg.folded) < len(published)
+        for worker_id, proc in list(procs.items()):
+            if proc.is_alive():
+                continue
+            proc.join()
+            del procs[worker_id]
+            if not unfinished:
+                continue
+            if (farm.max_respawns is not None
+                    and report.respawns >= farm.max_respawns):
+                continue
+            report.respawns += 1
+            spawn()
+
+    def drain() -> None:
+        alive = [p for p in procs.values() if p.is_alive()]
+        for proc in alive:
+            proc.terminate()  # SIGTERM: checkpoint-and-release path
+        deadline = time.monotonic() + farm.grace
+        for proc in alive:
+            proc.join(max(0.0, deadline - time.monotonic()))
+        for proc in alive:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(5)
+        for cid in list_leases(paths):
+            cell = published.get(cid)
+            if cell is None or agg.is_folded(cid):
+                continue
+            try:
+                lease = read_lease(paths.lease(cid))
+            except (ArtifactError, OSError):
+                continue
+            if lease.worker not in spawned and lease.state != "released":
+                # An attached worker (another shell/host) still holds
+                # this: leave it — it outlives the broker and its result
+                # will fold on the next run.
+                continue
+            jlease(cell, "released", lease.worker, attempt=lease.attempt,
+                   reason="drain", cycle=lease.cycle)
+            # Hand the cell back now (a voluntary release consumes no
+            # retry budget) so the next run re-claims it immediately
+            # instead of waiting out a dead worker's TTL.
+            reclaim(cid, lease, "released")
+
+    # -------------------------------------------------------- main loop
+    # Startup sweep: leases left behind by a previous broker that died
+    # without draining (power loss, SIGKILL).  Anything already expired
+    # or marked released is previous-incarnation debris — hand those
+    # cells back without burning retry budget.  A *live* lease (recent
+    # heartbeat) belongs to a surviving attached/orphaned worker: leave
+    # it, its result will fold like any other.
+    startup_now = time.time()
+    for cid in list_leases(paths):
+        cell = published.get(cid)
+        if cell is None:
+            continue
+        try:
+            lease = read_lease(paths.lease(cid))
+        except (ArtifactError, OSError):
+            continue  # torn claim: scan_leases ages it out by mtime
+        if lease.state == "released" or lease.expired(startup_now):
+            jlease(cell, "released", lease.worker, attempt=lease.attempt,
+                   reason="stale", cycle=lease.cycle)
+            reclaim(cid, lease, "released")
+    for _ in range(farm.workers):
+        spawn()
+    last_progress = 0.0
+    try:
+        while len(agg.folded) < len(published):
+            fold_new_results()
+            active = scan_leases(time.time())
+            reap_and_respawn()
+            if on_progress is not None:
+                now = time.monotonic()
+                if now - last_progress >= min(1.0, farm.poll_interval):
+                    last_progress = now
+                    on_progress(report, active)
+            if len(agg.folded) < len(published):
+                time.sleep(farm.poll_interval)
+    finally:
+        drain()
+        farm.report = report
+    if on_progress is not None:
+        on_progress(report, 0)
+    return report
+
+
+class _TornLease:
+    """Stand-in for an unreadable lease file during reclaim."""
+
+    def __init__(self, cid: str, cell: CellSpec) -> None:
+        self.cid = cid
+        self.key = cell.key
+        self.worker = "unknown"
+        self.attempt = cell.attempt

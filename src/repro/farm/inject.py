@@ -1,0 +1,178 @@
+"""Farm fault injection: prove the lease protocol survives real failure.
+
+The third injection registry, completing the family: where
+:mod:`repro.audit.inject` corrupts in-memory bookkeeping and
+:mod:`repro.store.inject` corrupts bytes on disk, this one breaks the
+*distributed* layer — it kills, stalls, orphans, evicts, and
+double-leases workers at deterministic points so the chaos suite can
+assert the farm's contract: exactly-once cell completion, zero lost
+work, and resume-from-checkpoint (never restart-from-cycle-0) after any
+reclaim.
+
+Each :class:`FarmFault` fires from inside a worker's per-cycle hook when
+its :class:`InjectPlan` matches (worker index, cell index within that
+worker's lifetime, simulation cycle) — keyed to the deterministic
+simulation clock, never to wall time, so a red chaos run is a real
+finding, not flake.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class InjectPlan:
+    """One scheduled fault: *which* worker, *when*, *what*."""
+
+    #: Registry name: kill | stall | orphan | double-lease | evict.
+    fault: str
+    #: Index of the spawned worker the plan binds to (workers respawned
+    #: after a fault get fresh indices, so a plan fires at most once).
+    worker: int = 0
+    #: The n-th cell this worker runs (0-based) the fault applies to.
+    cell_index: int = 0
+    #: Simulation cycle (within that cell) at which the fault fires.
+    after_cycles: int = 500
+
+    def to_dict(self) -> Dict:
+        return {"fault": self.fault, "worker": self.worker,
+                "cell_index": self.cell_index,
+                "after_cycles": self.after_cycles}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "InjectPlan":
+        return cls(**data)
+
+    @classmethod
+    def parse(cls, text: str) -> "InjectPlan":
+        """Parse the CLI form ``fault[:worker=N][:cell=N][:cycles=N]``."""
+        parts = text.split(":")
+        plan = {"fault": parts[0]}
+        keys = {"worker": "worker", "cell": "cell_index",
+                "cycles": "after_cycles"}
+        for part in parts[1:]:
+            name, _, value = part.partition("=")
+            if name not in keys or not value:
+                raise ValueError(f"bad inject spec {text!r}")
+            plan[keys[name]] = int(value)
+        if plan["fault"] not in FAULTS:
+            raise ValueError(
+                f"unknown fault {plan['fault']!r} "
+                f"(known: {', '.join(sorted(FAULTS))})"
+            )
+        return cls(**plan)
+
+
+@dataclass
+class WorkerChaos:
+    """Per-worker fault state, consulted from the cell's cycle hook."""
+
+    plans: Sequence[InjectPlan] = ()
+    cell_index: int = 0
+    fired: set = field(default_factory=set)
+    #: Set by the ``stall`` fault: heartbeats stop, simulation continues.
+    stalled: bool = False
+    #: Wall-clock drag per hook check while stalled — a wedged host is
+    #: slow at *everything*, which is also what guarantees the lease
+    #: outlives its TTL so the reclaim-and-deduplicate path is exercised.
+    stall_delay: float = 0.1
+    #: Set by the ``double-lease`` fault: the worker must shed its lease
+    #: (the drop itself is done by the worker, which owns the lease).
+    drop_lease: bool = False
+
+    def check(self, machine) -> None:
+        """Fire any plan whose (cell, cycle) point has been reached."""
+        for index, plan in enumerate(self.plans):
+            if index in self.fired:
+                continue
+            if plan.cell_index != self.cell_index:
+                continue
+            if machine.now < plan.after_cycles:
+                continue
+            self.fired.add(index)
+            FAULTS[plan.fault].apply(self)
+
+
+@dataclass(frozen=True)
+class FarmFault:
+    """One injectable distributed failure."""
+
+    name: str
+    description: str
+    #: What the chaos suite must observe the farm do about it.
+    expect: str
+    apply: Callable[[WorkerChaos], None]
+
+
+def _kill(chaos: WorkerChaos) -> None:
+    """SIGKILL mid-cell: no cleanup, no release — the hard crash an OOM
+    killer or a pulled plug produces."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _evict(chaos: WorkerChaos) -> None:
+    """Spot-instance eviction notice: SIGTERM self; the worker's handler
+    must checkpoint and release within the grace budget."""
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _orphan(chaos: WorkerChaos) -> None:
+    """The worker process exits silently mid-cell, leaving its lease
+    behind — a host that vanished without dying loudly."""
+    sys.stdout.flush()
+    os._exit(3)
+
+
+def _stall(chaos: WorkerChaos) -> None:
+    """Heartbeats stop and the simulation slows to a crawl — a wedged
+    I/O path or a GC-of-death.  The broker must reclaim on TTL; the
+    stalled worker becomes a zombie whose late result is deduplicated."""
+    chaos.stalled = True
+
+
+def _double_lease(chaos: WorkerChaos) -> None:
+    """The worker sheds its lease mid-cell (as if the lease file were
+    lost by the shared filesystem) but keeps simulating: another worker
+    will claim the same cell, and two results will race.  Exactly-once
+    folding must keep one and verify the duplicate is bit-identical."""
+    chaos.drop_lease = True
+
+
+FAULTS: Dict[str, FarmFault] = {
+    f.name: f
+    for f in (
+        FarmFault("kill", "SIGKILL the worker mid-cell (hard crash)",
+                  "lease expires; cell reclaimed and resumed from its "
+                  "latest checkpoint", _kill),
+        FarmFault("evict", "SIGTERM the worker (spot eviction)",
+                  "worker checkpoints and releases within the grace "
+                  "budget; cell resumes elsewhere", _evict),
+        FarmFault("orphan", "worker exits silently without releasing",
+                  "lease expires; cell reclaimed", _orphan),
+        FarmFault("stall", "heartbeats stop, simulation continues",
+                  "lease expires; duplicate result deduplicated "
+                  "bit-identically", _stall),
+        FarmFault("double-lease", "lease lost mid-cell, worker keeps "
+                  "running", "two workers complete the same cell; "
+                  "exactly one completion is folded", _double_lease),
+    )
+}
+
+
+def plans_for_worker(
+    plans: Sequence[InjectPlan], worker_index: int
+) -> Tuple[InjectPlan, ...]:
+    return tuple(p for p in plans if p.worker == worker_index)
+
+
+def chaos_for_worker(
+    plans: Sequence[InjectPlan], worker_index: Optional[int]
+) -> WorkerChaos:
+    if worker_index is None:
+        return WorkerChaos(())
+    return WorkerChaos(plans_for_worker(plans, worker_index))

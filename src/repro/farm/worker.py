@@ -1,0 +1,299 @@
+"""Stateless farm workers: lease, heartbeat, simulate, stream back.
+
+A worker owns nothing but its process: every piece of state it needs —
+which cells exist, which are claimable, where to resume — lives in the
+shared journal directory, so workers can be spawned by the broker,
+attached later from another shell (``python -m repro.farm worker
+<root>``), or on another host sharing the mount, and killing one at any
+instant costs at most the cycles since its cell's last checkpoint.
+
+Per cell, the worker:
+
+1. claims the lease (O_EXCL create — the filesystem arbitrates races);
+2. simulates with a per-cycle hook that (a) heartbeats the lease every
+   ``heartbeat_interval`` seconds, piggybacking live progress,
+   (b) checkpoints through :mod:`repro.core.snapshot` every
+   ``checkpoint_every`` cycles, resuming from an existing checkpoint
+   instead of starting over, and (c) fires any injected chaos;
+3. streams the final :class:`~repro.core.stats.SimStats` (or a
+   deterministic error) back as a checksummed store envelope;
+4. releases the lease — only if it still owns it.
+
+**Spot eviction**: SIGTERM means "you have ``grace`` seconds".  The
+handler sets a flag; the cycle hook raises, the worker snapshots the
+machine *at that exact cycle*, marks its lease ``released``, and exits
+cleanly — whoever reclaims the cell resumes mid-simulation.
+
+**Lost leases**: a worker whose lease vanishes or changes hands (broker
+reclaim after a stall, or an injected double-lease) downgrades to a
+zombie — it finishes the cell and writes its result, but never touches
+the lease again; the broker's exactly-once folding verifies and drops
+the duplicate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.machine import SimulationError
+from repro.farm.inject import WorkerChaos
+from repro.farm.lease import (
+    CellResult,
+    CellSpec,
+    FarmPaths,
+    LeaseLost,
+    claim,
+    heartbeat,
+    list_cells,
+    list_results,
+    read_cell,
+    release,
+    write_result,
+)
+from repro.store import ArtifactError
+
+
+@dataclass
+class WorkerOptions:
+    """Everything a worker needs besides the shared directory."""
+
+    lease_ttl: float = 30.0
+    heartbeat_interval: float = 1.0
+    poll_interval: float = 0.2
+    #: Override the RunSpec's checkpoint cadence (None keeps it).
+    checkpoint_every: Optional[int] = 2000
+    #: Exit after the first completed cell (used by tests).
+    oneshot: bool = False
+    #: Stop scanning once every published cell has a result.  Attached
+    #: workers may instead linger for cells the broker will re-publish.
+    exit_when_done: bool = True
+
+
+class Evicted(Exception):
+    """Raised from the cycle hook when SIGTERM arrived: carries the
+    machine so the worker can checkpoint it at that exact cycle."""
+
+    def __init__(self, machine) -> None:
+        super().__init__("worker evicted")
+        self.machine = machine
+
+
+class _EvictFlag:
+    """SIGTERM latch.  A module-level handler would be racy under
+    multiprocessing fork; each worker installs its own instance."""
+
+    def __init__(self) -> None:
+        self.requested = False
+
+    def install(self) -> None:
+        signal.signal(signal.SIGTERM, self._handle)
+
+    def _handle(self, signum, frame) -> None:
+        self.requested = True
+
+
+def _spec_from_dict(data: dict) -> "RunSpec":
+    from repro.experiments.runner import RunSpec
+
+    known = {f.name for f in dataclasses.fields(RunSpec)}
+    return RunSpec(**{k: v for k, v in data.items() if k in known})
+
+
+def _execute_cell(
+    paths: FarmPaths,
+    cell: CellSpec,
+    lease,
+    options: WorkerOptions,
+    chaos: WorkerChaos,
+    evict: _EvictFlag,
+    traces,
+    cell_fn: Optional[Callable] = None,
+) -> CellResult:
+    """Run one leased cell to completion (or deterministic error).
+
+    Raises :class:`Evicted` on SIGTERM — after checkpointing — so the
+    caller can release and exit.
+    """
+    from repro.core.snapshot import save_snapshot, take_snapshot
+    from repro.experiments.runner import (
+        _run_checkpointed,
+        checkpoint_path,
+        resolve_config,
+    )
+
+    spec = _spec_from_dict(cell.spec)
+    if options.checkpoint_every is not None:
+        spec = dataclasses.replace(spec, checkpoint_every=options.checkpoint_every)
+    spec = dataclasses.replace(spec, checkpoint_dir=paths.checkpoints)
+    started = time.monotonic()
+    state = {
+        "start_cycle": 0, "zombie": False,
+        "last_hb": time.monotonic(), "dropped": False,
+    }
+
+    if cell_fn is not None:
+        # Test hook: an injected cell callable (run_one's signature)
+        # replaces the checkpointed path wholesale; heartbeats pause for
+        # the duration, so keep injected cells shorter than the TTL.
+        stats = cell_fn(cell.benchmark, cell.scheme, cell.width, spec, None)
+        return CellResult(
+            cid=cell.cid, key=cell.key, worker=lease.worker,
+            attempt=cell.attempt, status="ok", stats=stats.to_dict(),
+            start_cycle=0, elapsed=time.monotonic() - started,
+        )
+
+    config = resolve_config(cell.scheme, cell.width, spec)
+    trace = traces.get(cell.benchmark, spec)
+    ckpt = checkpoint_path(cell.benchmark, cell.scheme, cell.width, spec)
+
+    def on_resume(cycle: int) -> None:
+        state["start_cycle"] = cycle
+
+    def cycle_hook(m) -> None:
+        if evict.requested:
+            # Snapshot *now*, at a consistent end-of-cycle boundary —
+            # the whole point of the grace budget.
+            save_snapshot(take_snapshot(m), ckpt)
+            raise Evicted(m)
+        if m.now & 31:
+            return
+        chaos.check(m)
+        if chaos.drop_lease and not state["dropped"]:
+            state["dropped"] = True
+            release(paths, lease)
+            state["zombie"] = True
+        if chaos.stalled:
+            time.sleep(chaos.stall_delay)
+            return
+        if state["zombie"]:
+            return
+        now = time.monotonic()
+        if now - state["last_hb"] >= options.heartbeat_interval:
+            state["last_hb"] = now
+            try:
+                heartbeat(paths, lease, cycle=m.now,
+                          committed=m.stats.committed)
+            except LeaseLost:
+                state["zombie"] = True
+
+    stats = _run_checkpointed(
+        config, trace, ckpt, spec, cycle_hook=cycle_hook, on_resume=on_resume
+    )
+    if spec.max_cycles is not None and stats.committed < len(trace):
+        raise SimulationError(
+            f"cycle-limit watchdog: {cell.benchmark}/{cell.scheme} "
+            f"committed only {stats.committed}/{len(trace)} instructions "
+            f"in {spec.max_cycles} cycles"
+        )
+    return CellResult(
+        cid=cell.cid, key=cell.key, worker=lease.worker,
+        attempt=cell.attempt, status="ok", stats=stats.to_dict(),
+        start_cycle=state["start_cycle"],
+        elapsed=time.monotonic() - started,
+    )
+
+
+def worker_loop(
+    root: str,
+    worker_id: str,
+    options: Optional[WorkerOptions] = None,
+    chaos: Optional[WorkerChaos] = None,
+    cell_fn: Optional[Callable] = None,
+) -> int:
+    """Scan, claim, simulate, repeat — until every published cell has a
+    result (exit 0) or this worker is evicted (exit 0 after
+    checkpoint-and-release)."""
+    from repro.experiments.runner import TraceCache
+
+    options = options or WorkerOptions()
+    chaos = chaos or WorkerChaos(())
+    paths = FarmPaths(root).ensure()
+    evict = _EvictFlag()
+    evict.install()
+    traces = TraceCache()
+
+    while True:
+        if evict.requested:
+            return 0
+        cells = list_cells(paths)
+        if not cells:
+            # Attached before the broker published (or mid-prune): wait
+            # for cells to appear rather than declaring victory over an
+            # empty directory.  SIGTERM still exits the loop above.
+            time.sleep(options.poll_interval)
+            continue
+        done = set(list_results(paths))
+        pending = [cid for cid in cells if cid not in done]
+        if not pending:
+            return 0
+        ran_one = False
+        now = time.time()
+        for cid in pending:
+            if evict.requested:
+                return 0
+            if os.path.exists(paths.lease(cid)):
+                continue
+            try:
+                cell = read_cell(paths.cell(cid))
+            except (ArtifactError, OSError):
+                continue  # mid-rewrite or damaged: next poll
+            if cell.not_before > now:
+                continue
+            lease = claim(paths, cell, worker_id, options.lease_ttl)
+            if lease is None:
+                continue  # raced another worker; O_EXCL decided
+            if cid in list_results(paths):
+                # The previous holder finished and released between our
+                # scan above and the claim; every completion writes its
+                # result *before* releasing, so this re-check (now that
+                # we hold the lease) is race-free.
+                release(paths, lease)
+                continue
+            try:
+                result = _execute_cell(
+                    paths, cell, lease, options, chaos, evict, traces,
+                    cell_fn=cell_fn,
+                )
+            except Evicted:
+                # Checkpoint already written by the hook; hand the lease
+                # back marked released so the broker reclaims instantly.
+                try:
+                    heartbeat(paths, lease, state="released")
+                except LeaseLost:
+                    pass
+                return 0
+            except Exception as exc:  # deterministic failure: report it
+                result = CellResult(
+                    cid=cell.cid, key=cell.key, worker=worker_id,
+                    attempt=cell.attempt, status="error", kind="error",
+                    error_type=type(exc).__name__, message=str(exc),
+                )
+            write_result(paths, result)
+            release(paths, lease)
+            chaos.cell_index += 1
+            chaos.stalled = False
+            chaos.drop_lease = False
+            ran_one = True
+            if options.oneshot:
+                return 0
+            break  # rescan: claimability may have changed
+        if not ran_one:
+            time.sleep(options.poll_interval)
+    return 0
+
+
+def _worker_entry(
+    root: str,
+    worker_id: str,
+    options: WorkerOptions,
+    chaos: WorkerChaos,
+    cell_fn: Optional[Callable] = None,
+) -> None:
+    """multiprocessing entry point for broker-spawned workers."""
+    sys.exit(worker_loop(root, worker_id, options, chaos, cell_fn))

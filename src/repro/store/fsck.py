@@ -169,6 +169,44 @@ def _verify_envelope(path: str, finding: Finding) -> None:
     finding.kind = meta.kind
 
 
+def _verify_journal_records(path: str, records) -> None:
+    """Semantic validation of a digest-clean sweep journal: every record
+    after the header must be a cell record (``key``/``cell``) or a
+    well-formed lease record (``lease`` with the farm's required fields
+    and a known state)."""
+    from repro.experiments.journal import LEASE_FIELDS, LEASE_STATES
+
+    for index, record in enumerate(records[1:], start=2):
+        if not isinstance(record, dict):
+            raise ArtifactError(
+                "journal record is not an object", path=path,
+                kind="sweep-journal", line=index,
+            )
+        if "lease" in record:
+            lease = record["lease"]
+            if not isinstance(lease, dict):
+                raise ArtifactError(
+                    "lease record is not an object", path=path,
+                    kind="sweep-journal", line=index,
+                )
+            missing = [f for f in LEASE_FIELDS if f not in lease]
+            if missing:
+                raise ArtifactError(
+                    f"lease record lacks fields {missing}", path=path,
+                    kind="sweep-journal", line=index,
+                )
+            if lease["state"] not in LEASE_STATES:
+                raise ArtifactError(
+                    f"lease record has unknown state {lease['state']!r}",
+                    path=path, kind="sweep-journal", line=index,
+                )
+        elif "key" not in record or "cell" not in record:
+            raise ArtifactError(
+                "journal record lacks key/cell fields", path=path,
+                kind="sweep-journal", line=index,
+            )
+
+
 def _verify_checked_lines(path: str, finding: Finding) -> None:
     """An append-style checksummed-line file (the sweep journal)."""
     from repro.experiments.journal import JOURNAL_FORMAT
@@ -180,6 +218,7 @@ def _verify_checked_lines(path: str, finding: Finding) -> None:
     else:
         finding.kind = "checked-lines"
     if result.clean and finding.kind == "sweep-journal":
+        _verify_journal_records(path, result.records)
         return
     if result.clean:
         raise ArtifactError(

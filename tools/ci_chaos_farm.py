@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Drive a sweep through the farm under continuous fault injection.
+
+The chaos CI job's end-to-end check, extracted from an inline workflow
+heredoc so it is lintable and runnable locally::
+
+    PYTHONPATH=src python tools/ci_chaos_farm.py [DIR]
+
+Runs a small (benchmark x scheme) matrix twice: once plainly, once
+through the lease-based farm (:mod:`repro.farm`) while
+:mod:`repro.farm.inject` SIGKILLs one worker mid-cell, stalls another's
+heartbeats, spot-evicts a third with SIGTERM, and makes a fourth shed
+its lease and finish as a zombie (double-lease).  The run fails if:
+
+* any cell is **lost** (farm result missing or marked failed);
+* any cell is **duplicated divergently** (two completions whose
+  SimStats differ bit-for-bit);
+* any cell **diverges** from the fault-free run;
+* any reclaimed cell **cold-restarts** when a checkpoint existed;
+* the farm root (journal with lease records, cell/lease/result
+  envelopes, checkpoints) does not verify under ``fsck``.
+
+Exit status 0 when every invariant holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+BENCHMARKS = ("gcc", "mesa")
+SCHEMES = ("base", "ER", "PRI-refcount+ckptcount")
+INJECT = (
+    "kill:worker=0:cell=0:cycles=400",          # SIGKILL mid-cell
+    "stall:worker=1:cell=0:cycles=200",         # wedged heartbeats
+    "evict:worker=2:cell=0:cycles=300",         # spot eviction (SIGTERM)
+    "double-lease:worker=3:cell=0:cycles=200",  # zombie duplicate
+)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = args[0] if args else "chaos-farm"
+
+    from repro.experiments import RunSpec, run_matrix
+    from repro.farm import FarmSpec
+
+    spec = RunSpec(length=400, warmup=800, seed=3)
+    print(f"fault-free reference: {len(BENCHMARKS) * len(SCHEMES)} cells")
+    plain = run_matrix(BENCHMARKS, SCHEMES, 4, spec)
+
+    farm = FarmSpec(
+        root=root, workers=2, lease_ttl=1.5, heartbeat_interval=0.1,
+        poll_interval=0.05, checkpoint_every=150, grace=5.0, inject=INJECT,
+    )
+    print(f"chaos run: injecting {len(INJECT)} faults: "
+          + ", ".join(p.split(":", 1)[0] for p in INJECT))
+    farmed = run_matrix(BENCHMARKS, SCHEMES, 4, spec, farm=farm, retries=4)
+    report = farm.report
+    print(f"farm report: {report.to_dict()}")
+
+    failures = []
+    for benchmark in BENCHMARKS:
+        for scheme in SCHEMES:
+            want = plain[benchmark][scheme]
+            got = farmed[benchmark].get(scheme)
+            if got is None or not hasattr(got, "to_dict"):
+                failures.append(f"lost cell: {benchmark}/{scheme} -> {got!r}")
+            elif got.to_dict() != want.to_dict():
+                failures.append(f"divergent cell: {benchmark}/{scheme}")
+    if report.completed != report.cells:
+        failures.append(
+            f"completed {report.completed}/{report.cells} cells"
+        )
+    if report.failed:
+        failures.append(f"{report.failed} cell(s) marked failed")
+    if report.divergent:
+        failures.append(
+            f"{report.divergent} divergent duplicate(s): "
+            f"{report.divergent_keys}"
+        )
+    if report.cold_restarts:
+        failures.append(
+            f"{report.cold_restarts} cell(s) restarted from cycle 0 "
+            "despite an existing checkpoint"
+        )
+    if report.reclaims + report.evictions < 2:
+        failures.append(
+            "chaos did not bite: expected at least two reclaims/evictions, "
+            f"got reclaims={report.reclaims} evictions={report.evictions}"
+        )
+
+    from repro.store.fsck import fsck_tree
+
+    fsck = fsck_tree(root)
+    for finding in fsck.findings:
+        if finding.status != "ok":
+            print(finding)
+    print(fsck.summary())
+    if fsck.unrepaired:
+        failures.append(f"fsck: {len(fsck.unrepaired)} unrepaired problem(s)")
+
+    for line in failures:
+        print(f"FAIL: {line}")
+    if not failures:
+        print("chaos invariants hold: exactly-once completion, zero lost "
+              "work, resume-not-restart, clean fsck")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
