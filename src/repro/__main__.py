@@ -5,6 +5,7 @@ Run one benchmark under one scheme and print the statistics::
     python -m repro gzip                       # base 4-wide machine
     python -m repro gzip --scheme PRI+ER       # any Figure 10 scheme
     python -m repro mcf --width 8 --length 10000 --regs 96
+    python -m repro gzip --backend vector --regs 64,96,128,256
     python -m repro --list                     # available benchmarks
 
 For the full table/figure harness use ``python -m repro.experiments``.
@@ -34,8 +35,16 @@ def main(argv=None) -> int:
                         help="timed instructions (default 6000)")
     parser.add_argument("--warmup", type=int, default=20000)
     parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--regs", type=int, default=None,
-                        help="override the physical register count per class")
+    parser.add_argument("--regs", default=None,
+                        help="override the physical register count per "
+                             "class; with --backend vector, a "
+                             "comma-separated list sweeps the sizes as "
+                             "one batched column")
+    parser.add_argument("--backend", choices=("scalar", "vector"),
+                        default="scalar",
+                        help="simulation backend: 'vector' runs the "
+                             "--regs size sweep as one lockstep column "
+                             "(bit-identical stats; needs numpy)")
     parser.add_argument("--audit", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="attach the machine invariant auditor "
@@ -69,9 +78,18 @@ def main(argv=None) -> int:
     if not args.benchmark:
         parser.error("benchmark name required (or --list)")
 
+    try:
+        reg_sizes = ([int(r) for r in str(args.regs).split(",")]
+                     if args.regs is not None else [])
+    except ValueError:
+        parser.error(f"--regs must be an integer or a comma-separated "
+                     f"list of integers, got {args.regs!r}")
+    if len(reg_sizes) > 1 and args.backend != "vector":
+        parser.error("multiple --regs sizes need --backend vector")
+
     config = SCHEMES[args.scheme](width_config(args.width))
-    if args.regs is not None:
-        config = config.with_phys_regs(args.regs)
+    if len(reg_sizes) == 1:
+        config = config.with_phys_regs(reg_sizes[0])
     if args.audit:
         config = config.with_audit()
     if args.oracle:
@@ -81,6 +99,9 @@ def main(argv=None) -> int:
           f"{args.warmup} warmup instructions (seed {args.seed})")
     trace = generate_trace(args.benchmark, args.length, seed=args.seed,
                            warmup=args.warmup)
+
+    if args.backend == "vector":
+        return _run_vector(args, config, trace, reg_sizes)
     start = time.time()
     try:
         if args.checkpoint_every:
@@ -144,6 +165,48 @@ def main(argv=None) -> int:
               f"{stats.oracle_arch_checks} architectural sweeps, all clean")
     print(f"[{elapsed:.1f}s, {stats.cycles / max(elapsed, 1e-9):,.0f} cycles/s]")
     return 0
+
+
+def _run_vector(args, config, trace, reg_sizes) -> int:
+    """Run a PRF size sweep (or a single config) as one batched column."""
+    try:
+        from repro.vector import Lane, run_column
+    except ImportError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+    if reg_sizes:
+        lanes = [Lane(key=str(size), config=config.with_phys_regs(size),
+                      trace=trace)
+                 for size in reg_sizes]
+    else:
+        lanes = [Lane(key=str(config.int_phys_regs), config=config,
+                      trace=trace)]
+    start = time.time()
+    outcome = run_column(lanes, max_cycles=args.max_cycles)
+    elapsed = time.time() - start
+    print(f"scheme {args.scheme!r}, {len(lanes)} lane(s) in "
+          f"{outcome.groups} coherence group(s), {outcome.forks} fork(s)")
+    failures = 0
+    print(f"{'PR':>6s} {'cycles':>9s} {'IPC':>6s} {'committed':>9s}")
+    for lane in lanes:
+        result = outcome.results[lane.key]
+        if result.error is not None:
+            failures += 1
+            print(f"{lane.key:>6s} failed: {result.error}", file=sys.stderr)
+            continue
+        stats = result.stats
+        if args.max_cycles is not None and stats.committed < len(trace):
+            failures += 1
+            print(f"{lane.key:>6s} cycle watchdog: committed only "
+                  f"{stats.committed}/{len(trace)} instructions",
+                  file=sys.stderr)
+            continue
+        print(f"{lane.key:>6s} {stats.cycles:>9d} {stats.ipc:>6.3f} "
+              f"{stats.committed:>9d}")
+    print(f"[{elapsed:.1f}s, {outcome.cycles_simulated} machine-cycles "
+          f"simulated for {len(lanes)} lane(s)]")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -169,6 +169,15 @@ class MachineConfig:
     scheduler_entries: int = 32
     int_phys_regs: int = 64
     fp_phys_regs: int = 64
+    #: Free-list allocation order (see :mod:`repro.rename.free_list`):
+    #: ``ordered`` (lowest-numbered free register first — the default,
+    #: and the property the batched vector backend's capacity-grouping
+    #: relies on) or ``fifo`` (release-order recycling).  Allocation
+    #: order is a modeling choice the paper leaves open; it does not
+    #: change any scheme's timing except through which register numbers
+    #: get reused (visible only in the REPLAY WAR policy's replay count
+    #: and PRI's duplicate-dealloc accounting).
+    alloc_policy: str = "ordered"
     max_checkpoints: int = 64
     #: Pipeline front end: Fetch, Decode, Rename (instruction renamed
     #: ``frontend_depth`` cycles after fetch).
@@ -254,6 +263,10 @@ class MachineConfig:
         if fp_regs is None:
             fp_regs = int_regs
         return replace(self, int_phys_regs=int_regs, fp_phys_regs=fp_regs)
+
+    def with_alloc_policy(self, policy: str) -> "MachineConfig":
+        """Copy with a different free-list allocation policy."""
+        return replace(self, alloc_policy=policy)
 
 
 def four_wide() -> MachineConfig:

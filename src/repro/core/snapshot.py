@@ -144,7 +144,10 @@ def _dump_regfile(rf) -> Dict:
         "write_cycle": list(rf.write_cycle),
         "last_read": list(rf.last_read),
         "allocated_count": rf.allocated_count,
-        "free_queue": list(rf.free_list._queue),
+        # Policy-appropriate list form (FIFO order, or the ordered
+        # policy's heap array); the config digest guards against
+        # restoring across allocation policies.
+        "free_queue": rf.free_list.serialize(),
         "duplicate_releases": rf.free_list.duplicate_releases,
     }
 
@@ -383,8 +386,7 @@ def _load_regfile(rf, data: Dict) -> None:
     rf.write_cycle = list(data["write_cycle"])
     rf.last_read = list(data["last_read"])
     rf.allocated_count = data["allocated_count"]
-    rf.free_list._queue = deque(data["free_queue"])
-    rf.free_list._free = set(data["free_queue"])
+    rf.free_list.restore(data["free_queue"])
     rf.free_list.duplicate_releases = data["duplicate_releases"]
 
 

@@ -128,5 +128,8 @@ class Aggregator:
         if a.status != b.status:
             return False
         if a.status == "ok":
-            return a.stats == b.stats
+            # Column (vector) results carry per-lane payloads instead of
+            # a single stats dict; both must match bit-for-bit.
+            return (a.stats == b.stats and a.lane_stats == b.lane_stats
+                    and a.lane_errors == b.lane_errors)
         return a.error_type == b.error_type

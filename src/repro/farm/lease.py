@@ -134,6 +134,14 @@ class CellSpec:
     #: eviction, broker drain).  Releases are not cell failures, so the
     #: retry budget only counts ``attempt - 1 - released`` against them.
     released: int = 0
+    #: ``scalar`` (default) or ``vector``.  A vector cell is a whole
+    #: *column*: one lease covers every lane in ``lanes``, executed as a
+    #: single batched job on :mod:`repro.vector`.
+    backend: str = "scalar"
+    #: Column lanes as ``[benchmark, scheme]`` pairs (vector cells only;
+    #: ``benchmark``/``scheme`` above then hold the first lane's values
+    #: for display).  Plain lists, not tuples: this round-trips JSON.
+    lanes: Optional[List] = None
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -311,6 +319,13 @@ class CellResult:
     #: checkpoint's cycle when the attempt resumed a reclaimed cell.
     start_cycle: int = 0
     elapsed: float = 0.0
+    #: Column (vector-backend) results: lane key (``benchmark|scheme``)
+    #: -> ``SimStats.to_dict()`` for lanes that completed, and -> a
+    #: ``{"error_type", "message"}`` record for lanes that failed
+    #: deterministically.  ``stats`` stays None for column cells; the
+    #: broker fans these out into per-cell journal lines.
+    lane_stats: Optional[Dict] = None
+    lane_errors: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)

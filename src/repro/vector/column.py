@@ -1,0 +1,142 @@
+"""Column planning: partition sweep lanes into coherence groups.
+
+A *lane* is one (config, trace) simulation the caller wants run.  A
+*coherence group* is a set of lanes the engine can carry on a single
+machine: same trace, configs identical in every field except the two PRF
+capacities, capacities forming a componentwise-ordered chain, ordered
+free-list policy, and not virtual-physical (VP allocates at issue
+through capacity-dependent paths, so capacity monotonicity does not
+hold there).
+
+The capacity chain is the load-bearing constraint: the engine runs the
+group at the chain's minimum and forks upward one link at a time, so
+every fork target must dominate its predecessor in *both* register
+classes.  Lanes whose capacity pairs are incomparable (e.g. (48, 64)
+and (64, 48)) are split into separate chains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MachineConfig, config_digest
+
+#: Backend names the CLIs and run_matrix accept.
+BACKENDS = ("scalar", "vector")
+
+
+@dataclass(frozen=True, eq=False)
+class Lane:
+    """One simulation the column should produce stats for.
+
+    ``key`` is an opaque caller identity (a journal cell key, a PRF size
+    label, ...) under which the result is returned.
+    """
+
+    key: str
+    config: MachineConfig
+    trace: object  # repro.workloads.Trace (kept untyped: no import cycle)
+
+
+@dataclass
+class ColumnGroup:
+    """One coherence group: a capacity chain of lanes over one trace."""
+
+    trace: object
+    #: Ascending componentwise-ordered (int_regs, fp_regs) chain.
+    caps: List[Tuple[int, int]]
+    #: Lanes at each chain link (duplicates share one link).
+    lanes: List[List[Lane]] = field(default_factory=list)
+
+    @property
+    def base_config(self) -> MachineConfig:
+        """The minimum-capacity config the group's machine starts at."""
+        return self.lanes[0][0].config
+
+
+def sharable(config: MachineConfig) -> bool:
+    """Whether this config participates in capacity grouping.
+
+    Virtual-physical mode allocates registers at issue through
+    capacity-dependent code paths, and FIFO recycling makes the
+    allocation sequence depend on capacity from the first reuse — either
+    breaks the monotonicity the fork step relies on, so such lanes run
+    as singleton groups (still batched, never shared).
+    """
+    return not config.virtual_physical and config.alloc_policy == "ordered"
+
+
+def _shape_digest(config: MachineConfig) -> str:
+    """Digest of everything *except* the PRF capacities: two lanes group
+    together iff their shape digests match (and :func:`sharable`)."""
+    return config_digest(
+        dataclasses.replace(config, int_phys_regs=0, fp_phys_regs=0)
+    )
+
+
+def plan_groups(lanes: Sequence[Lane]) -> List[ColumnGroup]:
+    """Partition ``lanes`` into coherence groups, deterministically.
+
+    Groups come out in first-lane order; within a group the capacity
+    chain ascends.  Every lane lands in exactly one group.
+    """
+    buckets: Dict[Tuple[int, str], List[Lane]] = {}
+    order: List[Tuple[int, str]] = []
+    for lane in lanes:
+        if sharable(lane.config):
+            bucket_key = (id(lane.trace), _shape_digest(lane.config))
+        else:
+            # Unsharable lanes become singleton groups; a unique key per
+            # lane keeps them apart even when configured identically.
+            bucket_key = (id(lane), "unsharable")
+        if bucket_key not in buckets:
+            buckets[bucket_key] = []
+            order.append(bucket_key)
+        buckets[bucket_key].append(lane)
+
+    groups: List[ColumnGroup] = []
+    for bucket_key in order:
+        bucket = buckets[bucket_key]
+        groups.extend(_chain_bucket(bucket))
+    return groups
+
+
+def _chain_bucket(bucket: List[Lane]) -> List[ColumnGroup]:
+    """Split one same-shape bucket into componentwise-ordered chains."""
+    caps = np.array(
+        [(lane.config.int_phys_regs, lane.config.fp_phys_regs)
+         for lane in bucket],
+        dtype=np.int64,
+    )
+    # Sort lanes by (int, fp) capacity; stable so equal-capacity lanes
+    # keep caller order.
+    sort_idx = np.lexsort((caps[:, 1], caps[:, 0]))
+
+    groups: List[ColumnGroup] = []
+    current: Optional[ColumnGroup] = None
+    for pos in sort_idx.tolist():
+        lane = bucket[pos]
+        pair = (lane.config.int_phys_regs, lane.config.fp_phys_regs)
+        if current is not None:
+            prev = current.caps[-1]
+            if pair == prev:
+                current.lanes[-1].append(lane)  # duplicate link: share
+                continue
+            if pair[0] >= prev[0] and pair[1] >= prev[1]:
+                current.caps.append(pair)
+                current.lanes.append([lane])
+                continue
+        # Chain broken (or first lane): start a new group.
+        current = ColumnGroup(trace=lane.trace, caps=[pair], lanes=[[lane]])
+        groups.append(current)
+    # Sanity: the sorted capacity matrix must ascend within every chain
+    # we emitted (cheap vectorized re-check of the invariant above).
+    for group in groups:
+        chain = np.array(group.caps, dtype=np.int64)
+        if len(chain) > 1 and not bool(np.all(np.diff(chain, axis=0) >= 0)):
+            raise AssertionError("capacity chain not componentwise ordered")
+    return groups

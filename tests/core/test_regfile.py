@@ -35,8 +35,21 @@ class TestAllocate:
         preg = rf.allocate(0, 0, 0)
         gen1 = rf.gen[preg]
         rf.release(preg, 1)
+        # Ordered free list: the lowest-numbered free register — the one
+        # just released — comes straight back.
+        again = rf.allocate(0, 0, 0)
+        assert again == preg
+        assert rf.gen[preg] == gen1 + 1
+        assert not rf.gen_matches(preg, gen1)
+
+    def test_generation_bumps_fifo(self):
+        rf = PhysRegFile(8, "int", alloc_policy="fifo")
+        preg = rf.allocate(0, 0, 0)
+        gen1 = rf.gen[preg]
+        rf.release(preg, 1)
         # FIFO free list: drain the rest so the same register comes back.
-        others = [rf.allocate(0, 0, 0) for _ in range(7)]
+        for _ in range(7):
+            rf.allocate(0, 0, 0)
         again = rf.allocate(0, 0, 0)
         assert again == preg
         assert rf.gen[preg] == gen1 + 1
@@ -49,13 +62,24 @@ class TestAllocate:
         rf.inline_pending[preg] = True
         rf.retire_pending[preg] = True
         rf.release(preg, 1)
-        for _ in range(7):
-            rf.allocate(0, 0, 0)
         assert rf.allocate(0, 0, 0) == preg
         assert rf.pred_ready[preg] == NEVER
         assert rf.ready_select[preg] == NEVER
         assert not rf.inline_pending[preg]
         assert not rf.retire_pending[preg]
+
+    def test_extend_adds_fresh_registers(self, rf):
+        taken = [rf.allocate(0, 0, 0) for _ in range(8)]
+        assert rf.free_list.empty
+        rf.extend(12)
+        assert rf.num_regs == 12
+        assert len(rf.free_list) == 4
+        assert rf.allocate(0, 0, 0) == 8
+        assert rf.gen[9] == 0 and rf.state[9] == RegState.FREE
+        rf.assert_consistent()
+        assert all(p is not None for p in taken)
+        with pytest.raises(ValueError):
+            rf.extend(4)
 
 
 class TestRelease:

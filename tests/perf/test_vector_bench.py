@@ -1,0 +1,136 @@
+"""Schema-2 bench artifacts: the vector backend dimension, the ratio
+gate, and the typed error for artifacts that predate the dimension."""
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA,
+    BackendDimensionMissing,
+    compare_payloads,
+    read_bench,
+    run_bench,
+    vector_ratio,
+    write_bench,
+)
+from repro.perf.__main__ import main as perf_main
+
+pytest.importorskip("numpy", reason="vector dimension needs numpy")
+
+TINY_TRACE = {"benchmark": "gzip", "length": 120, "seed": 3, "warmup": 60}
+TINY_COLUMN = (256, 288, 320)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(rounds=1, trace_spec=TINY_TRACE,
+                     column_sizes=TINY_COLUMN)
+
+
+def _schema1(payload):
+    """The same measurements as a schema-1 artifact (no vector dim)."""
+    import json
+
+    old = json.loads(json.dumps(payload))
+    old["schema"] = 1
+    for cfg in old["configs"].values():
+        cfg.pop("vector", None)
+    return old
+
+
+# ============================================================== bench
+
+
+def test_vector_dimension_recorded(payload):
+    assert payload["schema"] == BENCH_SCHEMA == 2
+    for cfg in payload["configs"].values():
+        vector = cfg["vector"]
+        assert vector["lanes"] == list(TINY_COLUMN)
+        assert vector["groups"] >= 1
+        assert vector["forks"] >= 0
+        assert vector["lane_cycles"] > vector["cycles_simulated"] > 0
+        assert vector["speedup_ratio"] > 0
+        # Both throughput figures count the same (scalar-equivalent)
+        # work, so the ratio is exactly their quotient.
+        quotient = vector["cycles_per_sec"] / vector["scalar_cycles_per_sec"]
+        assert vector["speedup_ratio"] == pytest.approx(quotient)
+
+
+def test_empty_column_sizes_skips_dimension():
+    payload = run_bench(rounds=1, trace_spec=TINY_TRACE, column_sizes=())
+    for cfg in payload["configs"].values():
+        assert "vector" not in cfg
+
+
+def test_schema2_round_trips(tmp_path, payload):
+    path = str(tmp_path / "bench.json")
+    write_bench(path, payload)
+    back, meta = read_bench(path)
+    assert meta.schema == 2
+    assert back == payload
+
+
+# ============================================================= compare
+
+
+def test_schema1_baseline_still_compares(payload):
+    result = compare_payloads(_schema1(payload), payload)
+    assert result.ok
+    assert any("no baseline ratio" in line for line in result.lines)
+
+
+def test_ratio_column_shows_both_when_available(payload):
+    result = compare_payloads(payload, payload)
+    assert result.ok
+    assert any("x -> " in line and "vector" in line for line in result.lines)
+
+
+def test_min_ratio_gate_passes_and_fails(payload):
+    assert compare_payloads(_schema1(payload), payload, min_ratio=0.01).ok
+    failed = compare_payloads(_schema1(payload), payload, min_ratio=1e9)
+    assert not failed.ok
+    assert any(name.endswith(":vector-ratio") for name in failed.failures)
+    assert any("RATIO BELOW GATE" in line for line in failed.lines)
+
+
+def test_min_ratio_against_schema1_current_is_typed_error(payload):
+    with pytest.raises(BackendDimensionMissing) as excinfo:
+        compare_payloads(payload, _schema1(payload), min_ratio=1.0)
+    assert excinfo.value.which == "current"
+    assert "python -m repro.perf bench" in str(excinfo.value)
+
+
+def test_vector_ratio_helper(payload):
+    name = sorted(payload["configs"])[0]
+    assert vector_ratio(payload, name, "current") > 0
+    with pytest.raises(BackendDimensionMissing):
+        vector_ratio(_schema1(payload), name, "baseline")
+
+
+# ================================================================= CLI
+
+
+def test_cli_min_ratio_gate_fails_loudly(tmp_path, payload, capsys):
+    base = str(tmp_path / "base.json")
+    cur = str(tmp_path / "cur.json")
+    write_bench(base, _schema1(payload))
+    write_bench(cur, payload)
+    assert perf_main(["compare", base, cur]) == 0
+    assert perf_main(["compare", base, cur, "--min-ratio", "0.01"]) == 0
+    assert perf_main(["compare", base, cur, "--min-ratio", "1e9"]) == 1
+    capsys.readouterr()
+    # Gating a schema-1 *current* artifact: typed, actionable, exit 1.
+    assert perf_main(["compare", cur, base, "--min-ratio", "1"]) == 1
+    err = capsys.readouterr().err
+    assert "no vector-backend dimension" in err
+    assert "Traceback" not in err
+
+
+def test_cli_bench_min_ratio(tmp_path, payload, monkeypatch, capsys):
+    import repro.perf.__main__ as cli
+
+    monkeypatch.setattr(cli, "run_bench", lambda rounds: payload)
+    out = str(tmp_path / "b.json")
+    assert perf_main(["bench", "--out", out, "--min-ratio", "0.01"]) == 0
+    assert "vector:" in capsys.readouterr().out
+    assert perf_main(["bench", "--out", out, "--min-ratio", "1e9"]) == 1
+    assert "ratio gate FAILED" in capsys.readouterr().err

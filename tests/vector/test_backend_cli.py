@@ -1,0 +1,63 @@
+"""--backend vector on both CLIs (python -m repro / repro.experiments)."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+pytest.importorskip("numpy", reason="vector backend needs numpy")
+
+
+def test_regs_sweep_prints_column_table(capsys):
+    code = repro_main(["gzip", "--length", "200", "--warmup", "400",
+                       "--backend", "vector", "--regs", "64,96,128"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "coherence group(s)" in out
+    for size in ("64", "96", "128"):
+        assert size in out
+    assert "machine-cycles" in out
+
+
+def test_vector_matches_scalar_headline(capsys):
+    args = ["gzip", "--length", "200", "--warmup", "400", "--regs", "96"]
+    assert repro_main(args) == 0
+    scalar_out = capsys.readouterr().out
+    scalar_ipc = next(line for line in scalar_out.splitlines()
+                      if "ipc=" in line)
+    ipc = scalar_ipc.split("ipc=")[1].split()[0]
+    assert repro_main(args + ["--backend", "vector"]) == 0
+    vector_out = capsys.readouterr().out
+    assert ipc in vector_out
+
+
+def test_multiple_regs_require_vector():
+    with pytest.raises(SystemExit):
+        repro_main(["gzip", "--regs", "64,96"])
+
+
+def test_bad_regs_list_rejected():
+    with pytest.raises(SystemExit):
+        repro_main(["gzip", "--regs", "64,notanint"])
+
+
+def test_experiments_figure1_vector_matches_scalar(tmp_path, capsys):
+    common = ["--figure", "1", "--length", "120", "--warmup", "300",
+              "--width", "4"]
+    assert experiments_main(common) == 0
+    scalar_out = capsys.readouterr().out
+    assert experiments_main(common + ["--backend", "vector"]) == 0
+    vector_out = capsys.readouterr().out
+    # Identical rendered figure — the strongest cheap parity check.
+    def strip(text):
+        return [line for line in text.splitlines()
+                if not line.startswith("[figure")]
+
+    assert strip(vector_out) == strip(scalar_out)
+
+
+def test_experiments_vector_rejects_scalar_only_flags():
+    with pytest.raises(SystemExit):
+        experiments_main(["--figure", "1", "--length", "120",
+                          "--warmup", "300", "--backend", "vector",
+                          "--jobs", "4"])

@@ -1,0 +1,131 @@
+"""Column planner: coherence grouping, capacity chains, and the
+numpy import gate."""
+
+import builtins
+import dataclasses
+import importlib
+import sys
+
+import pytest
+
+from repro.config import four_wide
+from repro.vector import Lane, plan_groups, run_column, sharable
+from repro.workloads import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("gzip", 200, seed=3, warmup=200)
+
+
+@pytest.fixture(scope="module")
+def other_trace():
+    return generate_trace("gcc", 200, seed=3, warmup=200)
+
+
+def _cfg(int_regs, fp_regs=None, **overrides):
+    return dataclasses.replace(
+        four_wide(), int_phys_regs=int_regs,
+        fp_phys_regs=fp_regs if fp_regs is not None else int_regs,
+        **overrides,
+    )
+
+
+def _lane(key, cfg, trace):
+    return Lane(key=key, config=cfg, trace=trace)
+
+
+# ============================================================= grouping
+
+
+def test_capacity_chain_forms_one_group(trace):
+    lanes = [_lane(str(n), _cfg(n), trace) for n in (128, 64, 96)]
+    groups = plan_groups(lanes)
+    assert len(groups) == 1
+    assert groups[0].caps == [(64, 64), (96, 96), (128, 128)]
+    assert [[lane.key for lane in link] for link in groups[0].lanes] == [
+        ["64"], ["96"], ["128"],
+    ]
+
+
+def test_incomparable_capacities_split(trace):
+    # (48, 64) and (64, 48) dominate each other in neither class, so the
+    # fork step (which must extend both classes monotonically) cannot
+    # chain them.
+    lanes = [_lane("a", _cfg(48, 64), trace), _lane("b", _cfg(64, 48), trace)]
+    groups = plan_groups(lanes)
+    assert len(groups) == 2
+    assert {g.caps[0] for g in groups} == {(48, 64), (64, 48)}
+
+
+def test_duplicate_capacities_share_one_link(trace):
+    lanes = [_lane("a", _cfg(64), trace), _lane("b", _cfg(64), trace),
+             _lane("c", _cfg(96), trace)]
+    groups = plan_groups(lanes)
+    assert len(groups) == 1
+    assert groups[0].caps == [(64, 64), (96, 96)]
+    assert sorted(lane.key for lane in groups[0].lanes[0]) == ["a", "b"]
+
+
+def test_different_traces_never_group(trace, other_trace):
+    lanes = [_lane("a", _cfg(64), trace), _lane("b", _cfg(96), other_trace)]
+    assert len(plan_groups(lanes)) == 2
+
+
+def test_different_shapes_never_group(trace):
+    # Same capacities, different scheme knobs: not coherent.
+    lanes = [_lane("a", _cfg(64), trace),
+             _lane("b", _cfg(64, early_release=True), trace)]
+    assert len(plan_groups(lanes)) == 2
+
+
+def test_virtual_physical_is_unsharable_singleton(trace):
+    vp = _cfg(64, virtual_physical=True)
+    assert not sharable(vp)
+    # Even two *identical* VP lanes stay apart: capacity monotonicity
+    # does not hold under issue-time allocation, so nothing is shared.
+    lanes = [_lane("a", vp, trace), _lane("b", vp, trace)]
+    groups = plan_groups(lanes)
+    assert len(groups) == 2
+    assert all(len(g.caps) == 1 for g in groups)
+
+
+def test_fifo_alloc_policy_is_unsharable(trace):
+    fifo = _cfg(64, alloc_policy="fifo")
+    assert not sharable(fifo)
+
+
+def test_every_lane_lands_exactly_once(trace, other_trace):
+    lanes = [
+        _lane("a", _cfg(64), trace), _lane("b", _cfg(96), trace),
+        _lane("c", _cfg(48, 64), trace), _lane("d", _cfg(64), other_trace),
+        _lane("e", _cfg(64, virtual_physical=True), trace),
+    ]
+    groups = plan_groups(lanes)
+    seen = [lane.key for g in groups for link in g.lanes for lane in link]
+    assert sorted(seen) == ["a", "b", "c", "d", "e"]
+
+
+def test_duplicate_lane_keys_rejected(trace):
+    lanes = [_lane("same", _cfg(64), trace), _lane("same", _cfg(96), trace)]
+    with pytest.raises(ValueError, match="duplicate lane keys"):
+        run_column(lanes)
+
+
+# ========================================================== import gate
+
+
+def test_missing_numpy_gives_actionable_import_error(monkeypatch):
+    real_import = builtins.__import__
+
+    def no_numpy(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("No module named 'numpy'")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_numpy)
+    for mod in list(sys.modules):
+        if mod == "repro.vector" or mod.startswith("repro.vector."):
+            monkeypatch.delitem(sys.modules, mod)
+    with pytest.raises(ImportError, match=r"pip install repro\[vector\]"):
+        importlib.import_module("repro.vector")
