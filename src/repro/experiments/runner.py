@@ -37,7 +37,8 @@ from repro.config import (
 from repro.core.machine import Machine, SimulationError, simulate
 from repro.core.stats import SimStats
 from repro.experiments.journal import SweepJournal, cell_key
-from repro.farm.lease import FarmSpec, backoff_delay
+from repro.farm.lease import FarmSpec
+from repro.retry import backoff_delay
 from repro.workloads import SPEC_FP, SPEC_INT, Trace, generate_trace
 
 #: Ceiling (seconds) on the jittered exponential retry backoff.

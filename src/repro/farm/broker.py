@@ -1,29 +1,32 @@
 """The farm broker: publish cells, watch leases, reclaim, fold.
 
 The broker is the farm's only *journal* writer and its only *reclaimer*;
-workers only ever touch their own lease file.  That asymmetry keeps the
+workers only ever touch their own lease.  That asymmetry keeps the
 concurrency story auditable:
 
 * **publish** — every (benchmark, scheme) cell becomes a durable
-  :class:`~repro.farm.lease.CellSpec` envelope under ``cells/``, plus a
-  checksummed ``leased``/``heartbeat``/``completed``/``abandoned``/
-  ``released`` line in the sweep journal for each transition it
-  observes, so ``fsck`` round-trips the whole history;
-* **watch** — polls the lease directory; journals new grants, relays
-  throttled heartbeat lines (non-durable — losing the last one costs
-  nothing), and detects expiry (no heartbeat within the TTL) and
-  wall-clock timeout;
+  :class:`~repro.farm.lease.CellSpec` envelope, plus a checksummed
+  ``leased``/``heartbeat``/``completed``/``abandoned``/``released``
+  line in the sweep journal for each transition it observes, so
+  ``fsck`` round-trips the whole history;
+* **watch** — polls the transport's lease views; journals new grants,
+  relays throttled heartbeat lines (non-durable — losing the last one
+  costs nothing), detects expiry (no heartbeat within the TTL) and
+  wall-clock timeout, and scrubs fence-stale debris (a lease file
+  resurrected by a heartbeat that raced an earlier reclaim — removed
+  without burning retry budget, because no live work was lost);
 * **reclaim** — an expired/timed-out/evicted lease is journaled
   ``abandoned`` (or ``released``), the cell's attempt is bumped and
   fenced with a jittered, capped backoff
-  (:func:`~repro.farm.lease.backoff_delay`), and — crucially — the cell
-  spec is rewritten *before* the lease file is deleted, so no worker can
-  claim the stale attempt in between.  If a checkpoint exists at reclaim
-  time the attempt is marked *must-resume*: a subsequent completion that
-  started from cycle 0 is counted as a ``cold_restart`` (the chaos suite
-  pins that counter to zero).  When the retry budget is exhausted the
-  broker streams a terminal error result itself, so workers' exit
-  condition (every cell has a result) still converges;
+  (:func:`~repro.retry.backoff_delay`), and — crucially — the transport
+  makes the bumped spec visible *before* the lease becomes claimable
+  again, so no worker can claim the stale attempt in between and an
+  in-flight heartbeat deterministically loses.  If a checkpoint exists
+  at reclaim time the attempt is marked *must-resume*: a subsequent
+  completion that started from cycle 0 is counted as a ``cold_restart``
+  (the chaos suite pins that counter to zero).  When the retry budget
+  is exhausted the broker streams a terminal error result itself, so
+  workers' exit condition (every cell has a result) still converges;
 * **fold** — streams results through
   :class:`~repro.farm.aggregate.Aggregator` exactly once per cell into
   ``on_cell_done`` (the same callback :func:`run_matrix` uses for its
@@ -35,9 +38,11 @@ concurrency story auditable:
   next run reclaims them instantly instead of waiting out the TTL.
 
 Local workers are fork-spawned processes; *attached* workers (other
-shells or hosts sharing the root — ``python -m repro.farm worker
-<root>``) participate identically, because every protocol step above is
-a filesystem operation, not an in-process one.
+shells or hosts — ``python -m repro.farm worker <root>`` on a shared
+mount, or ``--endpoint URL`` against the HTTP lease service)
+participate identically, because every protocol step above is a
+:class:`~repro.farm.transport.Transport` operation, never an
+in-process one.
 """
 
 from __future__ import annotations
@@ -49,38 +54,15 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.stats import SimStats
 from repro.farm.aggregate import Aggregator, FarmReport
-from repro.farm.inject import InjectPlan, chaos_for_worker
-from repro.farm.lease import (
-    ArtifactError,
-    CellResult,
-    CellSpec,
-    FarmSpec,
-    backoff_delay,
-    cid_of,
-    iter_results,
-    list_cells,
-    list_leases,
-    read_cell,
-    read_lease,
-    read_result,
-    write_cell,
-    write_result,
+from repro.farm.inject import (
+    chaos_for_worker,
+    net_plans_for_worker,
+    normalize_plans,
 )
+from repro.farm.lease import CellResult, CellSpec, FarmSpec, cid_of
+from repro.farm.transport import make_transport
 from repro.farm.worker import WorkerOptions, _worker_entry
-
-
-def _normalize_plans(inject) -> Tuple[InjectPlan, ...]:
-    plans = []
-    for entry in inject or ():
-        if isinstance(entry, InjectPlan):
-            plans.append(entry)
-        elif isinstance(entry, str):
-            plans.append(InjectPlan.parse(entry))
-        elif isinstance(entry, dict):
-            plans.append(InjectPlan.from_dict(entry))
-        else:
-            raise TypeError(f"bad inject entry {entry!r}")
-    return tuple(plans)
+from repro.retry import backoff_delay
 
 
 def run_cells_farm(
@@ -123,9 +105,18 @@ def run_cells_farm(
 
     if backend == "vector" and cell_fn is not None:
         raise ValueError("cell_fn applies to the scalar backend only")
-    paths = farm.paths.ensure()
-    plans = _normalize_plans(farm.inject)
-    ckpt_spec = dataclasses.replace(spec, checkpoint_dir=paths.checkpoints)
+    farm.paths.ensure()
+    plans = normalize_plans(farm.inject)
+    # The broker's RPCs are never chaos-injected: fault plans target
+    # workers by index, and a broker that lied to itself about the
+    # lease state would make every invariant unfalsifiable.
+    transport = make_transport(
+        root=farm.root, endpoint=farm.endpoint,
+        timeout=farm.rpc_timeout, deadline=farm.rpc_deadline,
+        client_id="broker",
+    )
+    ckpt_spec = dataclasses.replace(
+        spec, checkpoint_dir=transport.checkpoint_dir)
 
     # ---------------------------------------------------------- publish
     published: Dict[str, CellSpec] = {}
@@ -150,38 +141,20 @@ def run_cells_farm(
     for key, lanes in units:
         cid = cid_of(key)
         benchmark, scheme = lanes[0]
-        cell = CellSpec(
+        cell = transport.publish(CellSpec(
             cid=cid, key=key, benchmark=benchmark, scheme=scheme,
             width=width, spec=dataclasses.asdict(spec),
             backend=backend,
             lanes=[list(lane) for lane in lanes] if backend == "vector" else None,
-        )
-        cell_path = paths.cell(cid)
-        if os.path.exists(cell_path):
-            try:
-                prior = read_cell(cell_path)
-                if prior.key == key:
-                    # Resumed farm root: keep the attempt counter and
-                    # backoff fence from the interrupted run.
-                    cell = prior
-            except (ArtifactError, OSError):
-                pass  # damaged spec: republish fresh
-        write_cell(paths, cell)
+        ))
         published[cid] = cell
         meta[cid] = (benchmark, scheme)
     # Prune cells from an earlier sweep that are no longer wanted (for
     # example, already journaled as complete) so workers never run them.
-    for cid in list_cells(paths):
-        if cid not in published:
-            for stale in (paths.cell(cid), paths.lease(cid)):
-                try:
-                    os.unlink(stale)
-                except OSError:
-                    pass
+    transport.prune(set(published))
 
     report = FarmReport(cells=len(published))
     agg = Aggregator(report)
-    seen_results: Set[str] = set()
     known_leases: Dict[str, Tuple[str, int]] = {}
     journal_hb_at: Dict[str, float] = {}
 
@@ -200,6 +173,9 @@ def run_cells_farm(
         heartbeat_interval=farm.heartbeat_interval,
         poll_interval=farm.poll_interval,
         checkpoint_every=farm.checkpoint_every,
+        endpoint=farm.endpoint,
+        rpc_timeout=farm.rpc_timeout,
+        rpc_deadline=farm.rpc_deadline,
     )
     procs: Dict[str, object] = {}
     spawned: Set[str] = set()
@@ -213,9 +189,10 @@ def run_cells_farm(
         worker_id = f"w{next_index}.{os.getpid()}"
         spawned.add(worker_id)
         chaos = chaos_for_worker(plans, next_index)
+        net = net_plans_for_worker(plans, next_index)
         proc = ctx.Process(
             target=_worker_entry,
-            args=(farm.root, worker_id, options, chaos, cell_fn),
+            args=(farm.root, worker_id, options, chaos, cell_fn, net),
             daemon=True,
         )
         proc.start()
@@ -224,16 +201,10 @@ def run_cells_farm(
 
     # ------------------------------------------------------------- fold
     def fold_new_results() -> None:
-        for cid, path in iter_results(paths):
-            if path in seen_results:
-                continue
-            seen_results.add(path)
+        for result in transport.new_results():
+            cid = result.cid
             if cid not in published:
                 continue
-            try:
-                result = read_result(path)
-            except (ArtifactError, OSError):
-                continue  # unreadable result: surfaced by fsck, not lost
             if agg.fold(result) != "folded":
                 continue
             cell = published[cid]
@@ -287,14 +258,13 @@ def run_cells_farm(
             # off — the cell is fine, re-run it at once).
             cell.released += 1
         retries_used = new_attempt - 1 - cell.released
-        lease_path = paths.lease(cid)
         if retries_used > retries:
             # Retry budget exhausted: the broker itself streams the
             # terminal error so the workers' all-cells-have-results exit
             # condition still converges.
             kind = "timeout" if reason == "timeout" else "crash"
             error_type = "TimeoutError" if kind == "timeout" else "LeaseExpired"
-            write_result(paths, CellResult(
+            transport.reclaim(cell, lease, terminal=CellResult(
                 cid=cid, key=cell.key, worker="broker",
                 attempt=lease.attempt, status="error", kind=kind,
                 error_type=error_type,
@@ -303,8 +273,9 @@ def run_cells_farm(
                          f"{retries} exhausted"),
             ))
         else:
-            if cell.backend == "scalar" and os.path.exists(
-                checkpoint_path(cell.benchmark, cell.scheme, width, ckpt_spec)
+            if cell.backend == "scalar" and transport.has_checkpoint(
+                cell, checkpoint_path(cell.benchmark, cell.scheme, width,
+                                      ckpt_spec)
             ):
                 # A checkpoint survives this attempt: the next one MUST
                 # resume from it, never restart from cycle 0.
@@ -316,38 +287,37 @@ def run_cells_farm(
                     cap=farm.backoff_cap, token=cell.key,
                 )
             )
-            # Rewrite the spec while the lease file still exists: no
-            # worker can claim the stale attempt in the gap.
-            write_cell(paths, cell)
-        try:
-            os.unlink(lease_path)
-        except OSError:
-            pass
+            # The transport publishes the bumped spec (the fence) before
+            # the lease becomes claimable again: no worker can claim the
+            # stale attempt in the gap, in-flight heartbeats lose.
+            transport.reclaim(cell, lease)
         known_leases.pop(cid, None)
 
     # ------------------------------------------------------------ watch
     def scan_leases(now: float) -> int:
         active = 0
-        for cid in list_leases(paths):
+        for view in transport.lease_views():
+            cid = view.cid
             cell = published.get(cid)
             if cell is None:
                 continue
-            lease_path = paths.lease(cid)
-            try:
-                lease = read_lease(lease_path)
-            except FileNotFoundError:
-                continue
-            except ArtifactError:
+            if view.torn:
                 # Torn claim from a worker killed mid-create: reclaim it
                 # once it is older than the TTL (mtime is all we have).
-                try:
-                    stale = now - os.path.getmtime(lease_path) > farm.lease_ttl
-                except OSError:
-                    continue
-                if stale and not agg.is_folded(cid):
+                if view.age > farm.lease_ttl and not agg.is_folded(cid):
                     report.reclaims += 1
                     jlease(cell, "abandoned", "unknown", reason="unreadable")
                     reclaim(cid, _TornLease(cid, cell), "expired")
+                continue
+            lease = view.lease
+            if lease.attempt < cell.attempt:
+                # Fence-stale debris: a heartbeat's atomic rename raced
+                # an earlier reclaim's unlink and resurrected the lease
+                # file.  The fence already decided that race — scrub the
+                # husk without counting a reclaim or burning retry
+                # budget, or it would block claims on the live attempt.
+                transport.scrub_fenced(view)
+                known_leases.pop(cid, None)
                 continue
             ident = (lease.worker, lease.attempt)
             if known_leases.get(cid) != ident:
@@ -369,8 +339,8 @@ def run_cells_farm(
                 reclaim(cid, lease, "released")
                 continue
             timed_out = (cell_timeout is not None
-                         and now - lease.granted_unix > cell_timeout)
-            if lease.expired(now) or timed_out:
+                         and view.held > cell_timeout)
+            if view.age > lease.ttl or timed_out:
                 reason = "timeout" if timed_out else "expired"
                 report.reclaims += 1
                 jlease(cell, "abandoned", lease.worker,
@@ -412,14 +382,11 @@ def run_cells_farm(
             if proc.is_alive():
                 proc.kill()
                 proc.join(5)
-        for cid in list_leases(paths):
-            cell = published.get(cid)
-            if cell is None or agg.is_folded(cid):
+        for view in transport.lease_views():
+            cell = published.get(view.cid)
+            if cell is None or view.torn or agg.is_folded(view.cid):
                 continue
-            try:
-                lease = read_lease(paths.lease(cid))
-            except (ArtifactError, OSError):
-                continue
+            lease = view.lease
             if lease.worker not in spawned and lease.state != "released":
                 # An attached worker (another shell/host) still holds
                 # this: leave it — it outlives the broker and its result
@@ -430,7 +397,7 @@ def run_cells_farm(
             # Hand the cell back now (a voluntary release consumes no
             # retry budget) so the next run re-claims it immediately
             # instead of waiting out a dead worker's TTL.
-            reclaim(cid, lease, "released")
+            reclaim(view.cid, lease, "released")
 
     # -------------------------------------------------------- main loop
     # Startup sweep: leases left behind by a previous broker that died
@@ -439,19 +406,15 @@ def run_cells_farm(
     # cells back without burning retry budget.  A *live* lease (recent
     # heartbeat) belongs to a surviving attached/orphaned worker: leave
     # it, its result will fold like any other.
-    startup_now = time.time()
-    for cid in list_leases(paths):
-        cell = published.get(cid)
-        if cell is None:
-            continue
-        try:
-            lease = read_lease(paths.lease(cid))
-        except (ArtifactError, OSError):
+    for view in transport.lease_views():
+        cell = published.get(view.cid)
+        if cell is None or view.torn:
             continue  # torn claim: scan_leases ages it out by mtime
-        if lease.state == "released" or lease.expired(startup_now):
+        lease = view.lease
+        if lease.state == "released" or view.age > lease.ttl:
             jlease(cell, "released", lease.worker, attempt=lease.attempt,
                    reason="stale", cycle=lease.cycle)
-            reclaim(cid, lease, "released")
+            reclaim(view.cid, lease, "released")
     for _ in range(farm.workers):
         spawn()
     last_progress = 0.0
@@ -469,6 +432,7 @@ def run_cells_farm(
                 time.sleep(farm.poll_interval)
     finally:
         drain()
+        transport.close()
         farm.report = report
     if on_progress is not None:
         on_progress(report, 0)

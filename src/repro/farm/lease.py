@@ -46,6 +46,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.retry import backoff_delay  # noqa: F401 — canonical home is
+#                                        repro.retry; re-exported here for
+#                                        the pre-transport import sites.
 from repro.store import (
     ArtifactError,
     atomic_write_bytes,
@@ -190,6 +193,12 @@ class Lease:
     state: str = "leased"      # leased | released (eviction)
     cycle: int = 0             # live progress, piggybacked on heartbeats
     committed: int = 0
+    #: Monotonic fencing token.  On the filesystem backend the attempt
+    #: number *is* the fence (the broker bumps it before deleting the
+    #: lease file); the HTTP lease service issues a globally monotonic
+    #: token per claim and rejects any write carrying a stale one
+    #: server-side.  0 on filesystem leases (attempt carries the fence).
+    token: int = 0
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -237,12 +246,46 @@ def read_lease(path: str) -> Lease:
     return Lease.from_dict(data)
 
 
+def fence_lost(paths: FarmPaths, lease: Lease) -> Optional[str]:
+    """Why ``lease`` is fenced out by the published cell spec, or None.
+
+    The broker rewrites a cell's spec with a bumped ``attempt`` *before*
+    deleting the lease file during reclaim, so the spec's attempt is a
+    monotonic fence: once it exceeds the lease's attempt, reclaim has
+    irrevocably begun and the holder has deterministically lost —
+    however its in-flight heartbeat races the lease-file unlink."""
+    try:
+        cell = read_cell(paths.cell(lease.cid))
+    except (FileNotFoundError, ArtifactError, OSError):
+        # No spec to fence against (pruned cell, or mid-rewrite on a
+        # non-atomic filesystem): the lease-file check below decides.
+        return None
+    if cell.attempt > lease.attempt:
+        return (f"cell {lease.cid} was reclaimed: spec attempt "
+                f"{cell.attempt} fences out lease attempt {lease.attempt}")
+    return None
+
+
 def heartbeat(paths: FarmPaths, lease: Lease, *, cycle: int = 0,
               committed: int = 0, state: Optional[str] = None) -> None:
-    """Refresh the worker's lease — read-check-write: a heartbeat never
-    overwrites a lease the worker no longer owns.  Raises
-    :class:`LeaseLost` when the file is gone or foreign."""
+    """Refresh the worker's lease — fence-check, then read-check-write:
+    a heartbeat never overwrites a lease the worker no longer owns, and
+    never renews once the broker has begun reclaiming.  Raises
+    :class:`LeaseLost` when fenced out, gone, or foreign.
+
+    The fence check closes the heartbeat-at-TTL-boundary race: the
+    broker's reclaim rewrites the cell spec (attempt bumped) *before*
+    unlinking the lease file, and heartbeats check that fence *before*
+    writing — so a heartbeat landing in the same tick as reclaim either
+    renews (reclaim had not started: no fence bump yet) or loses
+    (:class:`LeaseLost`), deterministically.  Without it, the
+    heartbeat's atomic rename could resurrect the lease file after the
+    broker's unlink, leaving a zombie that believed it still held the
+    cell."""
     path = paths.lease(lease.cid)
+    fenced = fence_lost(paths, lease)
+    if fenced is not None:
+        raise LeaseLost(fenced)
     try:
         current = read_lease(path)
     except FileNotFoundError:
@@ -373,31 +416,27 @@ def iter_results(paths: FarmPaths) -> List[tuple]:
 # ========================================================= shared helpers
 
 
-def backoff_delay(attempt: int, base: float, cap: float = 30.0,
-                  token: str = "") -> float:
-    """Jittered, capped exponential backoff.
-
-    Deterministic (the jitter is a hash of ``token`` and ``attempt``,
-    not a clock or RNG) so retry schedules are reproducible, yet spread
-    across cells — a mass-failure round fans back in over
-    ``[cap/2, cap)`` instead of thundering back as one herd.
-    """
-    if attempt < 1:
-        attempt = 1
-    raw = min(cap, base * (2 ** (attempt - 1)))
-    digest = hashlib.sha256(f"{token}|{attempt}".encode("utf-8")).digest()
-    jitter = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
-    return raw * (0.5 + jitter / 2)
-
-
 @dataclass
 class FarmSpec:
     """How to run a farm: topology, liveness budgets, and fault plans."""
 
-    #: Shared journal directory (created on demand).
+    #: Shared journal directory (created on demand).  With an
+    #: ``endpoint`` this is broker-local: it holds only the sweep
+    #: journal, while cells/leases/results/checkpoints live on the
+    #: lease server's own root.
     root: str
     #: Locally spawned worker processes (0 = rely on attached workers).
     workers: int = 2
+    #: HTTP lease-service URL (``python -m repro.farm serve``).  When
+    #: set, the broker and every spawned worker speak the transport
+    #: protocol to this endpoint instead of the shared filesystem —
+    #: hosts need share nothing but a network.
+    endpoint: Optional[str] = None
+    #: Per-RPC timeout (seconds) on the HTTP transport.
+    rpc_timeout: float = 10.0
+    #: Total wall-clock budget for retrying one failing RPC before the
+    #: caller gives up (parks its cell and exits, for a worker).
+    rpc_deadline: float = 60.0
     #: Seconds without a heartbeat before a lease is reclaimed.
     lease_ttl: float = 30.0
     #: How often workers refresh their lease (<< lease_ttl).

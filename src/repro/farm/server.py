@@ -1,0 +1,496 @@
+"""The HTTP/JSON lease service: one farm root behind a socket.
+
+``python -m repro.farm serve <root>`` turns the lease protocol's
+arbiter from "a directory the hosts all mount" into "a port the hosts
+can reach": the broker and any number of workers (local or remote)
+speak :mod:`repro.farm.transport.http` to this process, and hosts need
+share nothing but a network.  Pure stdlib (:mod:`http.server`), no new
+dependencies.
+
+Three properties make the service safe to talk to over an unreliable
+network:
+
+**Idempotent RPCs.**  Every mutating request carries a client-generated
+request id (``rid``).  The service remembers the response it gave each
+rid; a retry of a half-completed call — the classic "the request
+executed but the connection died before the response" — is answered
+from that cache instead of executing twice.  The mutations are also
+*semantically* idempotent (re-claiming a lease you hold returns the
+same lease; re-completing a stored result is ``ok``), so even a service
+restart that loses the cache cannot double-apply a retry.
+
+**Fencing tokens.**  Each claim is stamped with a globally monotonic
+token (persisted in ``fence.json``, so restarts never reuse one).
+Every subsequent write on the lease — heartbeat, checkpoint upload,
+completion, release, broker reclaim — must present the token, and a
+stale one is rejected with ``fenced`` *server-side*: a zombie worker
+waking up after its cell was reclaimed cannot heartbeat, upload, or
+complete anything, no matter how delayed its packets are.
+
+**Server-owned clocks.**  Lease ages (for TTL expiry and wall-clock
+timeouts) are computed on the service's own clock and shipped to the
+broker as *ages*, never as timestamps — clock skew between hosts
+cannot mis-expire a lease.  Retry backoff fences arrive as deltas
+("not claimable for N seconds") for the same reason.
+
+State lives in the ordinary farm-root layout (``cells/``, ``leases/``,
+``results/``, ``checkpoints/``) as the same checksummed envelopes the
+filesystem transport writes, so ``fsck`` and ``farm status`` work on a
+server root unchanged, and a restarted service recovers every cell,
+lease, and result from disk.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.farm import lease as fsl
+from repro.farm.lease import (
+    CellResult,
+    CellSpec,
+    FARM_SCHEMA,
+    FarmPaths,
+    LEASE_KIND,
+    Lease,
+)
+from repro.store import (
+    ArtifactError,
+    atomic_write_bytes,
+    envelope_bytes,
+    read_json_artifact,
+)
+
+#: Envelope kind of the persisted fencing-token counter.
+FENCE_KIND = "farm-fence"
+#: How many request-id -> response entries the replay cache keeps.
+RID_CACHE_SIZE = 4096
+
+
+class FarmState:
+    """Everything the service knows, plus its on-disk recovery story.
+
+    One lock serializes all RPCs: the farm's scale is tens of cells and
+    a heartbeat per worker per second, so correctness-by-serialization
+    costs nothing measurable and keeps every invariant local.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.paths = FarmPaths(root).ensure()
+        self.lock = threading.Lock()
+        self.cells: Dict[str, CellSpec] = {}
+        self.leases: Dict[str, Lease] = {}
+        self.fence = 0
+        self.rid_cache: "OrderedDict[str, Dict]" = OrderedDict()
+        self._result_keys: set = set()
+        self._recover()
+
+    # ----------------------------------------------------- persistence
+
+    @property
+    def _fence_path(self) -> str:
+        return os.path.join(self.paths.root, "fence.json")
+
+    def _recover(self) -> None:
+        """Rebuild in-memory state from the root: cells, live leases,
+        result keys, and the fence counter (never reused, even across
+        restarts — see ``fence.json``)."""
+        for cid in fsl.list_cells(self.paths):
+            try:
+                self.cells[cid] = fsl.read_cell(self.paths.cell(cid))
+            except (ArtifactError, OSError):
+                continue  # damaged spec: the broker republishes
+        for cid in fsl.list_leases(self.paths):
+            try:
+                lease = fsl.read_lease(self.paths.lease(cid))
+            except (ArtifactError, OSError):
+                continue  # torn write: a fresh claim will replace it
+            self.leases[cid] = lease
+            self.fence = max(self.fence, lease.token)
+        for _cid, path in fsl.iter_results(self.paths):
+            try:
+                result = fsl.read_result(path)
+            except (ArtifactError, OSError):
+                continue
+            self._result_keys.add((result.cid, result.attempt, result.worker))
+        if os.path.exists(self._fence_path):
+            try:
+                data, _ = read_json_artifact(self._fence_path, FENCE_KIND,
+                                             allow_legacy=False)
+                self.fence = max(self.fence, int(data["fence"]))
+            except (ArtifactError, OSError, KeyError, ValueError):
+                pass  # lease files above already lower-bound the fence
+
+    def _issue_token(self) -> int:
+        self.fence += 1
+        atomic_write_bytes(
+            self._fence_path,
+            envelope_bytes(FENCE_KIND, FARM_SCHEMA, {"fence": self.fence}),
+        )
+        return self.fence
+
+    def _write_lease(self, lease: Lease, *, durable: bool = True) -> None:
+        atomic_write_bytes(
+            self.paths.lease(lease.cid),
+            envelope_bytes(LEASE_KIND, FARM_SCHEMA, lease.to_dict()),
+            durable=durable,
+        )
+
+    def _drop_lease(self, cid: str) -> None:
+        self.leases.pop(cid, None)
+        try:
+            os.unlink(self.paths.lease(cid))
+        except OSError:
+            pass
+
+    def _ckpt_path(self, cid: str) -> str:
+        return os.path.join(self.paths.checkpoints, f"{cid}.snap")
+
+    def _done(self, cid: str) -> bool:
+        return any(key[0] == cid for key in self._result_keys)
+
+    def _store_result(self, result: CellResult) -> None:
+        fsl.write_result(self.paths, result)
+        self._result_keys.add((result.cid, result.attempt, result.worker))
+
+    # ------------------------------------------------------------ reads
+
+    def snapshot_cells(self) -> List[Dict]:
+        now = time.time()
+        out = []
+        for cid in sorted(self.cells):
+            data = self.cells[cid].to_dict()
+            # Ship the backoff fence as a *delta*: the client re-anchors
+            # it on its own clock, so host clock skew cannot extend (or
+            # collapse) a retry backoff.
+            data["not_before_in"] = max(0.0, self.cells[cid].not_before - now)
+            out.append(data)
+        return out
+
+    def snapshot_leases(self) -> List[Dict]:
+        now = time.time()
+        out = []
+        for cid in sorted(self.leases):
+            lease = self.leases[cid]
+            data = lease.to_dict()
+            data["age"] = lease.age(now)
+            data["held"] = now - lease.granted_unix
+            out.append(data)
+        return out
+
+    # -------------------------------------------------------- mutations
+    # All called under self.lock, all returning JSON-able dicts.  An
+    # ``{"code": ...}`` response is a protocol verdict (fenced, taken,
+    # backoff, ...), not an HTTP error: the transport maps them.
+
+    def rpc_publish(self, cell_data: Dict) -> Dict:
+        cell = CellSpec.from_dict(cell_data)
+        prior = self.cells.get(cell.cid)
+        if prior is not None and prior.key == cell.key:
+            # Resumed sweep: the service's attempt counter and backoff
+            # fence are the authoritative ones.
+            cell = prior
+        self.cells[cell.cid] = cell
+        fsl.write_cell(self.paths, cell)
+        return {"cell": cell.to_dict()}
+
+    def rpc_prune(self, keep: List[str]) -> Dict:
+        keep_set = set(keep)
+        for cid in list(self.cells):
+            if cid in keep_set:
+                continue
+            del self.cells[cid]
+            self._drop_lease(cid)
+            try:
+                os.unlink(self.paths.cell(cid))
+            except OSError:
+                pass
+        return {"ok": 1}
+
+    def rpc_claim(self, cid: str, worker: str, ttl: float,
+                  attempt: int) -> Dict:
+        cell = self.cells.get(cid)
+        if cell is None:
+            return {"code": "unknown-cell"}
+        if self._done(cid):
+            return {"code": "done"}
+        if attempt != cell.attempt:
+            # The claimer's scan predates a reclaim: its attempt number
+            # is stale, and granting it would undo the fence.
+            return {"code": "stale-attempt"}
+        now = time.time()
+        if now < cell.not_before:
+            return {"code": "backoff"}
+        held = self.leases.get(cid)
+        if held is not None:
+            if held.worker == worker and held.attempt == attempt:
+                # Semantic idempotency: re-claiming a lease you already
+                # hold (a retry whose rid the cache lost, e.g. across a
+                # service restart) returns the same grant.
+                return {"lease": held.to_dict()}
+            return {"code": "taken"}
+        lease = Lease(
+            cid=cid, key=cell.key, worker=worker, attempt=attempt,
+            ttl=ttl, granted_unix=now, heartbeat_unix=now,
+            token=self._issue_token(),
+        )
+        self.leases[cid] = lease
+        self._write_lease(lease)
+        return {"lease": lease.to_dict()}
+
+    def rpc_heartbeat(self, cid: str, token: int, cycle: int,
+                      committed: int, state: Optional[str]) -> Dict:
+        lease = self.leases.get(cid)
+        if lease is None or lease.token != token:
+            return {"code": "fenced"}
+        lease.heartbeat_unix = time.time()
+        lease.cycle = cycle
+        lease.committed = committed
+        if state is not None:
+            lease.state = state
+        # Heartbeats are frequent and individually expendable: persist
+        # atomically but not durably, exactly like the fs transport.
+        self._write_lease(lease, durable=state is not None)
+        return {"ok": 1}
+
+    def rpc_release(self, cid: str, token: int) -> Dict:
+        lease = self.leases.get(cid)
+        if lease is None or lease.token != token:
+            return {"released": False}
+        self._drop_lease(cid)
+        return {"released": True}
+
+    def rpc_complete(self, result_data: Dict, token: int) -> Dict:
+        result = CellResult.from_dict(result_data)
+        key = (result.cid, result.attempt, result.worker)
+        if key in self._result_keys:
+            return {"ok": 1}  # replay of an applied completion
+        lease = self.leases.get(result.cid)
+        if lease is None or lease.token != token:
+            # The zombie case: this worker's lease was reclaimed.  On
+            # the filesystem the duplicate lands on disk and the broker
+            # verifies it at fold time; here the fence rejects it at the
+            # door — the winner's result (or the reclaim) stands.
+            return {"code": "fenced"}
+        self._store_result(result)
+        self._drop_lease(result.cid)
+        try:
+            os.unlink(self._ckpt_path(result.cid))
+        except OSError:
+            pass
+        return {"ok": 1}
+
+    def rpc_reclaim(self, cid: str, token: int, attempt: int,
+                    released: int, backoff: float,
+                    terminal: Optional[Dict]) -> Dict:
+        cell = self.cells.get(cid)
+        if cell is None:
+            return {"code": "unknown-cell"}
+        if self._done(cid):
+            return {"code": "done"}  # completed in flight: nothing to do
+        lease = self.leases.get(cid)
+        if lease is not None and lease.token != token:
+            # The broker's view is stale (the lease changed hands since
+            # its last scan): refuse — it will re-observe and decide.
+            return {"code": "fenced"}
+        if terminal is not None:
+            self._store_result(CellResult.from_dict(terminal))
+            self._drop_lease(cid)
+            try:
+                os.unlink(self._ckpt_path(cid))
+            except OSError:
+                pass
+            return {"ok": 1}
+        if cell.attempt < attempt:
+            cell.attempt = attempt
+            cell.released = released
+            cell.not_before = time.time() + max(0.0, backoff)
+            # Publish the bumped spec (the fence) before dropping the
+            # lease — both under the lock, so no claim can interleave
+            # and the in-flight heartbeat deterministically loses.
+            fsl.write_cell(self.paths, cell)
+        self._drop_lease(cid)
+        return {"ok": 1}
+
+    def rpc_checkpoint(self, cid: str, token: int, data_b64: str) -> Dict:
+        lease = self.leases.get(cid)
+        if lease is None or lease.token != token:
+            return {"code": "fenced"}
+        atomic_write_bytes(self._ckpt_path(cid),
+                           base64.b64decode(data_b64.encode("ascii")))
+        return {"ok": 1}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------ plumbing
+
+    def log_message(self, fmt, *args):  # noqa: D102 — silence stdlib chatter
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    def _send(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    @property
+    def state(self) -> FarmState:
+        return self.server.state
+
+    # --------------------------------------------------------------- GET
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib API
+        parsed = urlparse(self.path)
+        query = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        state = self.state
+        status = 200
+        # Compute under the lock, transmit outside it: a client slow to
+        # read its response must never stall every other host's RPCs.
+        with state.lock:
+            if parsed.path == "/ping":
+                payload = {"ok": 1, "fence": state.fence,
+                           "cells": len(state.cells),
+                           "results": len(state._result_keys)}
+            elif parsed.path == "/cells":
+                payload = {"cells": state.snapshot_cells()}
+            elif parsed.path == "/leases":
+                payload = {"leases": state.snapshot_leases()}
+            elif parsed.path == "/done":
+                payload = {"cids": sorted({k[0] for k in state._result_keys})}
+            elif parsed.path == "/results":
+                out = []
+                for _cid, path in fsl.iter_results(state.paths):
+                    try:
+                        out.append(fsl.read_result(path).to_dict())
+                    except (ArtifactError, OSError):
+                        continue  # unreadable: fsck's problem, not the wire's
+                payload = {"results": out}
+            elif parsed.path == "/has-checkpoint":
+                cid = query.get("cid", "")
+                payload = {"exists": os.path.exists(state._ckpt_path(cid))}
+            elif parsed.path == "/checkpoint":
+                cid = query.get("cid", "")
+                try:
+                    with open(state._ckpt_path(cid), "rb") as fh:
+                        raw = fh.read()
+                    payload = {"data": base64.b64encode(raw).decode("ascii")}
+                except OSError:
+                    payload = {"missing": 1}
+            else:
+                payload = {"error": f"unknown path {parsed.path!r}"}
+                status = 404
+        self._send(payload, status)
+
+    # -------------------------------------------------------------- POST
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib API
+        parsed = urlparse(self.path)
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send({"error": f"bad request body: {exc}"}, 400)
+            return
+        rid = body.get("rid")
+        state = self.state
+        status = 200
+        with state.lock:
+            if rid is not None and rid in state.rid_cache:
+                # Exactly-once: this request already executed; its
+                # effect stands and the original answer is replayed.
+                payload = {**state.rid_cache[rid], "rid": rid, "replayed": 1}
+            else:
+                try:
+                    response = self._dispatch(parsed.path, body)
+                except KeyError as exc:
+                    response, status = {"error": f"missing field {exc}"}, 400
+                if response is None:
+                    response = {"error": f"unknown path {parsed.path!r}"}
+                    status = 404
+                if status == 200 and rid is not None:
+                    state.rid_cache[rid] = response
+                    while len(state.rid_cache) > RID_CACHE_SIZE:
+                        state.rid_cache.popitem(last=False)
+                payload = {**response, "rid": rid}
+        self._send(payload, status)
+
+    def _dispatch(self, path: str, body: Dict) -> Optional[Dict]:
+        state = self.state
+        if path == "/publish":
+            return state.rpc_publish(body["cell"])
+        if path == "/prune":
+            return state.rpc_prune(body["keep"])
+        if path == "/claim":
+            return state.rpc_claim(body["cid"], body["worker"],
+                                   float(body["ttl"]), int(body["attempt"]))
+        if path == "/heartbeat":
+            return state.rpc_heartbeat(
+                body["cid"], int(body["token"]), int(body.get("cycle", 0)),
+                int(body.get("committed", 0)), body.get("state"))
+        if path == "/release":
+            return state.rpc_release(body["cid"], int(body["token"]))
+        if path == "/complete":
+            return state.rpc_complete(body["result"], int(body["token"]))
+        if path == "/reclaim":
+            return state.rpc_reclaim(
+                body["cid"], int(body["token"]), int(body["attempt"]),
+                int(body.get("released", 0)), float(body.get("backoff", 0.0)),
+                body.get("terminal"))
+        if path == "/checkpoint":
+            return state.rpc_checkpoint(body["cid"], int(body["token"]),
+                                        body["data"])
+        return None
+
+
+class FarmServer:
+    """An embeddable lease service: ``start()`` serves on a background
+    thread (port 0 picks a free one), ``stop()`` shuts it down.  The
+    CLI's ``serve`` subcommand runs the same thing in the foreground."""
+
+    def __init__(self, root: str, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> None:
+        self.state = FarmState(root)
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.state = self.state
+        self.httpd.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "FarmServer":
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="farm-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5)
+            self._thread = None

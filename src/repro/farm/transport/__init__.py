@@ -1,0 +1,255 @@
+"""Pluggable lease backends: one protocol, shared filesystem or HTTP.
+
+PR 6's farm spoke directly to a shared directory — ``O_EXCL`` claims,
+atomic lease rewrites, result envelopes.  That is one *transport* for
+the lease protocol, not the protocol itself.  This package names the
+protocol as an interface (:class:`Transport`) and provides two
+implementations:
+
+:class:`~repro.farm.transport.fs.FsTransport`
+    The PR 6 behavior, verbatim, behind the interface — every operation
+    is the same filesystem primitive as before, so journals, cell/lease/
+    result envelopes, and checkpoints stay bit-compatible with existing
+    farm roots.
+
+:class:`~repro.farm.transport.http.HttpTransport`
+    A client for the HTTP/JSON lease service (``python -m repro.farm
+    serve``, :mod:`repro.farm.server`): hosts share nothing but a
+    network.  Every RPC carries a client-generated request id (retries
+    of a half-completed call are deduplicated server-side) and every
+    write carries the claim's monotonic fencing token (a zombie that
+    wakes up after reclaim is rejected *server-side*, not just detected
+    at fold time).  Transient failures retry under one shared
+    :class:`~repro.retry.RetryPolicy`; a caller that exhausts its
+    deadline gets a typed :class:`TransportUnavailable`, never a hang.
+
+The interface has two halves, mirroring the farm's asymmetry: the
+**worker half** (scan, claim, heartbeat, checkpoint, complete, release)
+and the **broker half** (publish, observe leases, reclaim, collect
+results).  The broker stays the only policy authority — transports are
+mechanism only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.farm.lease import CellResult, CellSpec, Lease
+
+
+class TransportError(RuntimeError):
+    """Base class: a lease-transport operation failed."""
+
+
+class TransportUnavailable(TransportError):
+    """The backend is unreachable and the retry policy's deadline or
+    attempt budget is exhausted.  Typed and terminal: callers park
+    their work and exit with the exact resume command instead of
+    hanging.  ``last`` is the final underlying failure."""
+
+    def __init__(self, message: str, *, endpoint: str = "",
+                 attempts: int = 0, elapsed: float = 0.0,
+                 last: Optional[BaseException] = None) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.last = last
+
+
+class Fenced(TransportError):
+    """A write carried a stale fencing token: the lease was reclaimed
+    (or handed to another worker) after this client claimed it.  A
+    verdict, never retried — the holder has deterministically lost."""
+
+
+class RpcError(TransportError):
+    """The backend rejected the request itself (malformed, unknown
+    operation, incompatible protocol).  Fatal: retrying cannot help."""
+
+
+@dataclass
+class LeaseView:
+    """One live lease as the *broker* observes it, with liveness ages
+    computed by the backend that owns the clock (the local clock for
+    the filesystem, the server's for HTTP — so clock skew between
+    broker and workers can never mis-expire a lease).
+
+    ``torn`` marks an unreadable lease file (a claim torn by a crash
+    mid-create, filesystem backend only); ``lease`` is None for those.
+    """
+
+    cid: str
+    lease: Optional[Lease]
+    #: Seconds since the last heartbeat (TTL expiry is ``age > ttl``).
+    age: float = 0.0
+    #: Seconds since the lease was granted (wall-clock timeout input).
+    held: float = 0.0
+    torn: bool = False
+
+
+class Transport:
+    """The lease protocol, backend-agnostic.  See the module docstring
+    for the two implementations; every method below documents its
+    contract, and both backends are differential-tested against each
+    other (same sweep, bit-identical folded stats).
+    """
+
+    # ------------------------------------------------------ worker half
+
+    #: Directory where this client keeps cell checkpoints locally (the
+    #: shared checkpoint dir for the filesystem backend, a private spool
+    #: for HTTP — uploads/downloads move them through the server).
+    checkpoint_dir: str
+
+    def list_cells(self) -> List[str]:
+        """All published cell ids, sorted (deterministic scan order)."""
+        raise NotImplementedError
+
+    def read_cell(self, cid: str) -> CellSpec:
+        """The current spec for ``cid``.  Raises ``KeyError`` when the
+        cell is unknown (pruned mid-scan)."""
+        raise NotImplementedError
+
+    def done_cids(self) -> Set[str]:
+        """Cell ids that already have at least one streamed result."""
+        raise NotImplementedError
+
+    def claim(self, cell: CellSpec, worker: str, ttl: float) -> Optional[Lease]:
+        """Try to lease ``cell``; None when somebody else holds it, the
+        cell's retry backoff has not elapsed, or ``cell`` is stale (its
+        attempt no longer matches the published spec)."""
+        raise NotImplementedError
+
+    def heartbeat(self, lease: Lease, *, cycle: int = 0, committed: int = 0,
+                  state: Optional[str] = None) -> None:
+        """Refresh ``lease``; raises :class:`~repro.farm.lease.LeaseLost`
+        when the lease is fenced out, gone, or foreign."""
+        raise NotImplementedError
+
+    def release(self, lease: Lease) -> bool:
+        """Give the lease back; False when it had already changed hands
+        (never an error — release is best-effort by design)."""
+        raise NotImplementedError
+
+    def write_result(self, result: CellResult,
+                     lease: Optional[Lease] = None) -> None:
+        """Stream one finished cell's result back.  The filesystem
+        backend accepts zombie duplicates (they coexist per attempt and
+        are verified at fold time); the HTTP backend rejects a stale
+        fencing token with :class:`Fenced` — server-side, immediately.
+        """
+        raise NotImplementedError
+
+    def fetch_checkpoint(self, cell: CellSpec, path: str) -> bool:
+        """Materialize the cell's latest checkpoint at local ``path``
+        if the backend has one; returns whether it did.  No-op (the
+        file is already shared) on the filesystem backend."""
+        raise NotImplementedError
+
+    def store_checkpoint(self, cell: CellSpec, lease: Lease,
+                         path: str) -> None:
+        """Persist the local checkpoint at ``path`` so a reclaimed cell
+        resumes on any host.  No-op on the filesystem backend; the HTTP
+        backend uploads (fenced like any other write)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------ broker half
+
+    def publish(self, cell: CellSpec) -> CellSpec:
+        """Publish (or re-publish) one cell; returns the authoritative
+        spec — a resumed farm keeps the prior attempt counter and
+        backoff fence when the key matches."""
+        raise NotImplementedError
+
+    def prune(self, keep: Set[str]) -> None:
+        """Withdraw cells not in ``keep`` (and their leases) so workers
+        never run work an earlier sweep already journaled."""
+        raise NotImplementedError
+
+    def lease_views(self) -> List[LeaseView]:
+        """Every live lease, with backend-clock ages (see
+        :class:`LeaseView`), sorted by cid."""
+        raise NotImplementedError
+
+    def scrub_fenced(self, view: LeaseView) -> None:
+        """Remove a lease the fence has already invalidated (its attempt
+        predates the published spec's) — debris from a heartbeat that
+        raced a reclaim, never a reclaim of live work.  No-op on
+        backends where fenced leases cannot linger (HTTP)."""
+        raise NotImplementedError
+
+    def reclaim(self, cell: CellSpec, lease, *,
+                terminal: Optional[CellResult] = None) -> bool:
+        """Take the lease back.  With ``terminal`` the retry budget is
+        spent: the terminal error result is streamed instead of the cell
+        being re-fenced.  Otherwise ``cell`` carries the bumped attempt
+        and backoff fence, and the backend MUST make the fence visible
+        before the lease becomes claimable again (that ordering is what
+        the heartbeat fence check relies on).  Returns False when the
+        lease had already moved on (HTTP: fencing token mismatch)."""
+        raise NotImplementedError
+
+    def has_checkpoint(self, cell: CellSpec, path: str) -> bool:
+        """Whether a checkpoint for ``cell`` survives (``path`` is the
+        filesystem-layout location; HTTP asks the server by cid)."""
+        raise NotImplementedError
+
+    def new_results(self) -> List[CellResult]:
+        """Results not yet returned by a previous call (the fold
+        cursor).  Unreadable result files are skipped, never raised —
+        fsck surfaces them."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- misc
+
+    def describe(self) -> str:
+        """Human identity of the backend (root path or endpoint URL)."""
+        raise NotImplementedError
+
+    def resume_command(self, worker: Optional[str] = None) -> str:
+        """The exact CLI to re-attach a worker to this backend."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release client-side resources (idempotent)."""
+
+
+def make_transport(
+    root: Optional[str] = None,
+    endpoint: Optional[str] = None,
+    *,
+    timeout: float = 10.0,
+    deadline: float = 60.0,
+    client_id: str = "client",
+    net_plans=(),
+) -> Transport:
+    """Build the right backend: ``endpoint`` wins (HTTP), else ``root``
+    (shared filesystem).  ``net_plans`` attaches deterministic network
+    chaos (:class:`~repro.farm.inject.NetPlan`) to the HTTP client."""
+    if endpoint:
+        from repro.farm.inject import NetworkChaos
+        from repro.farm.transport.http import HttpTransport
+
+        chaos = NetworkChaos(tuple(net_plans)) if net_plans else None
+        return HttpTransport(
+            endpoint, client_id=client_id, timeout=timeout,
+            deadline=deadline, chaos=chaos,
+        )
+    if not root:
+        raise ValueError("a transport needs a farm root or an endpoint")
+    from repro.farm.transport.fs import FsTransport
+
+    return FsTransport(root)
+
+
+__all__ = [
+    "Transport",
+    "TransportError",
+    "TransportUnavailable",
+    "Fenced",
+    "RpcError",
+    "LeaseView",
+    "make_transport",
+]

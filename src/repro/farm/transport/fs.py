@@ -1,0 +1,171 @@
+"""The shared-filesystem lease backend: PR 6's farm, behind the interface.
+
+Every method is the same primitive the broker and workers called
+directly before the transport split — ``O_EXCL`` claims, atomic
+envelope rewrites, per-(attempt, worker) result files — so existing
+farm roots, journals, and checkpoints remain bit-compatible.  The
+fencing token here is the cell's **attempt number**: reclaim rewrites
+the spec with a bumped attempt *before* unlinking the lease file, and
+heartbeats check that fence before writing (see
+:func:`repro.farm.lease.fence_lost`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional, Set
+
+from repro.farm import lease as fsl
+from repro.farm.lease import CellResult, CellSpec, FarmPaths, Lease
+from repro.farm.transport import LeaseView, Transport
+from repro.store import ArtifactError
+
+
+class FsTransport(Transport):
+    """Lease protocol over one shared journal directory."""
+
+    def __init__(self, root: str) -> None:
+        self.paths = FarmPaths(root).ensure()
+        self._seen_results: Set[str] = set()
+
+    # ------------------------------------------------------ worker half
+
+    @property
+    def checkpoint_dir(self) -> str:
+        return self.paths.checkpoints
+
+    def list_cells(self) -> List[str]:
+        return fsl.list_cells(self.paths)
+
+    def read_cell(self, cid: str) -> CellSpec:
+        try:
+            return fsl.read_cell(self.paths.cell(cid))
+        except FileNotFoundError:
+            raise KeyError(cid) from None
+
+    def done_cids(self) -> Set[str]:
+        return set(fsl.list_results(self.paths))
+
+    def claim(self, cell: CellSpec, worker: str, ttl: float) -> Optional[Lease]:
+        return fsl.claim(self.paths, cell, worker, ttl)
+
+    def heartbeat(self, lease: Lease, *, cycle: int = 0, committed: int = 0,
+                  state: Optional[str] = None) -> None:
+        fsl.heartbeat(self.paths, lease, cycle=cycle, committed=committed,
+                      state=state)
+
+    def release(self, lease: Lease) -> bool:
+        return fsl.release(self.paths, lease)
+
+    def write_result(self, result: CellResult,
+                     lease: Optional[Lease] = None) -> None:
+        # Zombie duplicates are allowed on disk by design: each
+        # (attempt, worker) gets its own file and the broker verifies
+        # duplicates bit-identically at fold time.
+        fsl.write_result(self.paths, result)
+
+    def fetch_checkpoint(self, cell: CellSpec, path: str) -> bool:
+        # Checkpoints already live on the shared mount.
+        return os.path.exists(path)
+
+    def store_checkpoint(self, cell: CellSpec, lease: Lease,
+                         path: str) -> None:
+        pass  # the periodic snapshot already wrote to the shared mount
+
+    # ------------------------------------------------------ broker half
+
+    def publish(self, cell: CellSpec) -> CellSpec:
+        cell_path = self.paths.cell(cell.cid)
+        if os.path.exists(cell_path):
+            try:
+                prior = fsl.read_cell(cell_path)
+                if prior.key == cell.key:
+                    # Resumed farm root: keep the attempt counter and
+                    # backoff fence from the interrupted run.
+                    cell = prior
+            except (ArtifactError, OSError):
+                pass  # damaged spec: republish fresh
+        fsl.write_cell(self.paths, cell)
+        return cell
+
+    def prune(self, keep: Set[str]) -> None:
+        for cid in fsl.list_cells(self.paths):
+            if cid not in keep:
+                for stale in (self.paths.cell(cid), self.paths.lease(cid)):
+                    try:
+                        os.unlink(stale)
+                    except OSError:
+                        pass
+
+    def lease_views(self) -> List[LeaseView]:
+        now = time.time()
+        views: List[LeaseView] = []
+        for cid in fsl.list_leases(self.paths):
+            lease_path = self.paths.lease(cid)
+            try:
+                lease = fsl.read_lease(lease_path)
+            except FileNotFoundError:
+                continue
+            except ArtifactError:
+                # Torn claim from a worker killed mid-create: the file's
+                # mtime is the only liveness signal left.
+                try:
+                    age = now - os.path.getmtime(lease_path)
+                except OSError:
+                    continue
+                views.append(LeaseView(cid=cid, lease=None, age=age,
+                                       held=age, torn=True))
+                continue
+            views.append(LeaseView(
+                cid=cid, lease=lease, age=lease.age(now),
+                held=now - lease.granted_unix,
+            ))
+        return views
+
+    def scrub_fenced(self, view: LeaseView) -> None:
+        # Ownership-checked like release(): only delete the exact lease
+        # the broker observed, never one a new claim just created.
+        if view.lease is not None:
+            fsl.release(self.paths, view.lease)
+
+    def reclaim(self, cell: CellSpec, lease, *,
+                terminal: Optional[CellResult] = None) -> bool:
+        if terminal is not None:
+            fsl.write_result(self.paths, terminal)
+        else:
+            # Rewrite the spec (attempt bumped: the fence) while the
+            # lease file still exists — no worker can claim the stale
+            # attempt in the gap, and in-flight heartbeats lose.
+            fsl.write_cell(self.paths, cell)
+        try:
+            os.unlink(self.paths.lease(cell.cid))
+        except OSError:
+            pass
+        return True
+
+    def has_checkpoint(self, cell: CellSpec, path: str) -> bool:
+        return os.path.exists(path)
+
+    def new_results(self) -> List[CellResult]:
+        out: List[CellResult] = []
+        for _cid, path in fsl.iter_results(self.paths):
+            if path in self._seen_results:
+                continue
+            self._seen_results.add(path)
+            try:
+                out.append(fsl.read_result(path))
+            except (ArtifactError, OSError):
+                continue  # unreadable result: surfaced by fsck, not lost
+        return out
+
+    # ------------------------------------------------------------- misc
+
+    def describe(self) -> str:
+        return self.paths.root
+
+    def resume_command(self, worker: Optional[str] = None) -> str:
+        cmd = f"python -m repro.farm worker {self.paths.root}"
+        if worker:
+            cmd += f" --name {worker}"
+        return cmd

@@ -1,0 +1,367 @@
+"""HTTP lease-transport client: the wire half of the farm protocol.
+
+Speaks JSON to :mod:`repro.farm.server` with three layers of defense,
+all stdlib:
+
+* **Retry with classification** — every RPC runs under the shared
+  :func:`repro.retry.call_with_retry` loop.  Connection failures,
+  timeouts, and 5xx responses are *transient* (retry with backoff,
+  jittered per client+op so a server restart doesn't trigger a
+  thundering herd); protocol verdicts (``fenced``) and 4xx responses
+  are *fatal* (raise immediately — retrying a verdict cannot change
+  it).  When the policy's deadline or attempt budget is spent the
+  caller gets a typed :class:`~repro.farm.transport.TransportUnavailable`
+  carrying the endpoint, attempt count, and final error — never a raw
+  socket traceback, never a hang.
+
+* **Idempotent request ids** — every mutating request carries
+  ``rid = "<client>.<counter>"`` (a deterministic counter, so chaos
+  runs replay identically).  A retry after a torn connection re-sends
+  the same rid and the server answers from its replay cache; the
+  client also verifies the echoed rid, so a stale response (replayed
+  by a broken proxy, or injected by ``net-stale``) is detected and
+  retried rather than mistaken for the answer.
+
+* **Fencing tokens** — the claim's token rides every lease write;
+  ``fenced`` comes back as :class:`~repro.farm.transport.Fenced` (or
+  :class:`~repro.farm.lease.LeaseLost` for heartbeats, matching the
+  filesystem transport's contract).
+
+Deterministic network chaos (:class:`~repro.farm.inject.NetworkChaos`)
+hooks the single wire choke-point ``_wire``: drops, delays,
+disconnects, duplicates, and stale replays are injected by RPC
+sequence number, underneath the retry loop — exactly where a real
+network would fail.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import socket
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from http.client import HTTPException
+from typing import Dict, List, Optional, Set
+
+from repro.farm.inject import NetworkChaos
+from repro.farm.lease import CellResult, CellSpec, Lease, LeaseLost
+from repro.farm.transport import (
+    Fenced,
+    RpcError,
+    Transport,
+    TransportUnavailable,
+)
+from repro.retry import RetryExhausted, RetryPolicy, call_with_retry
+
+
+class _Transient(Exception):
+    """One wire attempt failed retryably (connection refused, timeout,
+    5xx, injected drop/disconnect, stale response).  Internal: the retry
+    loop consumes these; callers only ever see the typed terminal
+    :class:`TransportUnavailable`."""
+
+
+class HttpTransport(Transport):
+    """Client for the HTTP lease service (both halves of the protocol)."""
+
+    #: Retry schedule for transient wire failures.  Fast and tight: the
+    #: lease service is LAN-close, and the per-call ``deadline`` is the
+    #: real budget.  Class attributes so tests can squeeze them.
+    retry_base = 0.05
+    retry_cap = 2.0
+
+    def __init__(self, endpoint: str, *, client_id: str = "client",
+                 timeout: float = 10.0, deadline: float = 60.0,
+                 chaos: Optional[NetworkChaos] = None) -> None:
+        self.endpoint = endpoint.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+        self.policy = RetryPolicy(base=self.retry_base, cap=self.retry_cap,
+                                  deadline=deadline)
+        self.chaos = chaos
+        self._rid_counter = 0
+        self._cells: Dict[str, CellSpec] = {}
+        self._seen_results: Set[tuple] = set()
+        self._stale_cache: Dict[str, Dict] = {}
+        self._spool: Optional[str] = None
+
+    # ------------------------------------------------------------- wire
+
+    def _next_rid(self) -> str:
+        # A deterministic counter, not a UUID: chaos runs must replay
+        # bit-identically, and uniqueness only needs to span this
+        # client's lifetime (the id is scoped by client_id).
+        self._rid_counter += 1
+        return f"{self.client_id}.{self._rid_counter}"
+
+    def _send(self, path: str, payload: Optional[Dict]) -> Dict:
+        """One real HTTP round-trip; raises :class:`_Transient` for
+        anything a retry could fix and :class:`RpcError` for verdicts."""
+        url = f"{self.endpoint}{path}"
+        if payload is None:
+            request = urllib.request.Request(url, method="GET")
+        else:
+            request = urllib.request.Request(
+                url, data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"}, method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            if exc.code >= 500:
+                raise _Transient(f"HTTP {exc.code} from {url}") from exc
+            raise RpcError(
+                f"{url} rejected the request: HTTP {exc.code} "
+                f"{exc.read().decode('utf-8', 'replace')[:200]}") from exc
+        except (urllib.error.URLError, HTTPException, socket.timeout,
+                ConnectionError, OSError) as exc:
+            raise _Transient(f"{type(exc).__name__}: {exc}") from exc
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise _Transient(f"undecodable response from {url}: {exc}") from exc
+
+    def _wire(self, op: str, path: str, payload: Optional[Dict]) -> Dict:
+        """One wire *attempt*: the chaos interception point.  Every call
+        advances the injection sequence counters, retries included."""
+        plan = self.chaos.intercept(op) if self.chaos is not None else None
+        if plan is None:
+            response = self._send(path, payload)
+            self._stale_cache[op] = response
+            return response
+        if plan.fault == "net-drop":
+            # Never transmitted: indistinguishable from a routing hole.
+            raise _Transient(f"injected net-drop of {op}")
+        if plan.fault == "net-delay":
+            time.sleep(plan.delay)
+            response = self._send(path, payload)
+            self._stale_cache[op] = response
+            return response
+        if plan.fault == "net-disconnect":
+            # The request EXECUTES server-side; the response is lost.
+            # This is the fault idempotent rids exist for: the retry
+            # resends the same rid and gets the cached answer.
+            self._send(path, payload)
+            raise _Transient(f"injected net-disconnect after {op} executed")
+        if plan.fault == "net-duplicate":
+            self._send(path, payload)
+            response = self._send(path, payload)
+            self._stale_cache[op] = response
+            return response
+        if plan.fault == "net-stale":
+            # Replay the previous response for this op (a misbehaving
+            # proxy); with no history it degrades to a drop.  The rid
+            # check in _rpc unmasks it.
+            if op in self._stale_cache:
+                return dict(self._stale_cache[op])
+            raise _Transient(f"injected net-stale of {op} (no history)")
+        raise RpcError(f"unknown injected network fault {plan.fault!r}")
+
+    def _rpc(self, op: str, path: str,
+             payload: Optional[Dict] = None) -> Dict:
+        """One logical RPC: rid-stamped, retried, verified."""
+        rid = None
+        if payload is not None:
+            rid = self._next_rid()
+            payload = {**payload, "rid": rid}
+
+        def attempt() -> Dict:
+            response = self._wire(op, path, payload)
+            if rid is not None and response.get("rid") != rid:
+                # A response for some *other* request (stale replay):
+                # not ours, retry until the real answer arrives.
+                raise _Transient(
+                    f"rid mismatch on {op}: sent {rid}, "
+                    f"got {response.get('rid')!r}")
+            return response
+
+        try:
+            return call_with_retry(
+                attempt, policy=self.policy,
+                retryable=lambda exc: isinstance(exc, _Transient),
+                token=f"{self.client_id}|{op}",
+            )
+        except RetryExhausted as exc:
+            raise TransportUnavailable(
+                f"lease service {self.endpoint} unreachable: {op} failed "
+                f"({exc})", endpoint=self.endpoint, attempts=exc.attempts,
+                elapsed=exc.elapsed, last=exc.last,
+            ) from exc
+
+    # ------------------------------------------------------ worker half
+
+    @property
+    def checkpoint_dir(self) -> str:
+        if self._spool is None:
+            # A private local spool: snapshots are written here by the
+            # runner, then shipped through the service — nothing is
+            # shared with other hosts.
+            self._spool = tempfile.mkdtemp(prefix="repro-farm-spool-")
+        return self._spool
+
+    def _cell_from_wire(self, data: Dict) -> CellSpec:
+        data = dict(data)
+        not_before_in = data.pop("not_before_in", 0.0)
+        cell = CellSpec.from_dict(data)
+        # Re-anchor the server's backoff delta on the local clock: the
+        # wire never carries cross-host timestamps.
+        cell.not_before = time.time() + not_before_in if not_before_in else 0.0
+        return cell
+
+    def list_cells(self) -> List[str]:
+        response = self._rpc("cells", "/cells")
+        self._cells = {
+            d["cid"]: self._cell_from_wire(d)
+            for d in response.get("cells", ())
+        }
+        return sorted(self._cells)
+
+    def read_cell(self, cid: str) -> CellSpec:
+        # Served from the last scan's snapshot — the same freshness a
+        # directory listing gives the filesystem transport.
+        if cid not in self._cells:
+            self.list_cells()
+        if cid not in self._cells:
+            raise KeyError(cid)
+        return self._cells[cid]
+
+    def done_cids(self) -> Set[str]:
+        response = self._rpc("done", "/done")
+        return set(response.get("cids", ()))
+
+    def claim(self, cell: CellSpec, worker: str, ttl: float) -> Optional[Lease]:
+        response = self._rpc("claim", "/claim", {
+            "cid": cell.cid, "worker": worker, "ttl": ttl,
+            "attempt": cell.attempt,
+        })
+        if "lease" in response:
+            return Lease.from_dict(response["lease"])
+        return None  # taken / backoff / stale-attempt / done
+
+    def heartbeat(self, lease: Lease, *, cycle: int = 0, committed: int = 0,
+                  state: Optional[str] = None) -> None:
+        response = self._rpc("heartbeat", "/heartbeat", {
+            "cid": lease.cid, "token": lease.token, "cycle": cycle,
+            "committed": committed, "state": state,
+        })
+        if response.get("code") == "fenced":
+            # Same contract as the filesystem transport: a fenced
+            # heartbeat is a lost lease, deterministically.
+            raise LeaseLost(
+                f"lease for {lease.cid} fenced out (token {lease.token})")
+
+    def release(self, lease: Lease) -> bool:
+        response = self._rpc("release", "/release", {
+            "cid": lease.cid, "token": lease.token,
+        })
+        return bool(response.get("released"))
+
+    def write_result(self, result: CellResult,
+                     lease: Optional[Lease] = None) -> None:
+        response = self._rpc("complete", "/complete", {
+            "result": result.to_dict(),
+            "token": lease.token if lease is not None else 0,
+        })
+        if response.get("code") == "fenced":
+            raise Fenced(
+                f"completion of {result.cid} rejected: stale fencing token")
+
+    def fetch_checkpoint(self, cell: CellSpec, path: str) -> bool:
+        response = self._rpc("fetch-checkpoint", "/checkpoint?cid=" + cell.cid)
+        if "data" not in response:
+            return False
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "wb") as fh:
+            fh.write(base64.b64decode(response["data"].encode("ascii")))
+        return True
+
+    def store_checkpoint(self, cell: CellSpec, lease: Lease,
+                         path: str) -> None:
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            return  # nothing saved yet this attempt
+        response = self._rpc("store-checkpoint", "/checkpoint", {
+            "cid": cell.cid, "token": lease.token,
+            "data": base64.b64encode(raw).decode("ascii"),
+        })
+        if response.get("code") == "fenced":
+            raise Fenced(
+                f"checkpoint upload for {cell.cid} rejected: stale token")
+
+    # ------------------------------------------------------ broker half
+
+    def publish(self, cell: CellSpec) -> CellSpec:
+        response = self._rpc("publish", "/publish", {"cell": cell.to_dict()})
+        return self._cell_from_wire(response["cell"])
+
+    def prune(self, keep: Set[str]) -> None:
+        self._rpc("prune", "/prune", {"keep": sorted(keep)})
+
+    def lease_views(self):
+        from repro.farm.transport import LeaseView
+
+        response = self._rpc("leases", "/leases")
+        views = []
+        for data in response.get("leases", ()):
+            data = dict(data)
+            age = data.pop("age", 0.0)
+            held = data.pop("held", 0.0)
+            views.append(LeaseView(cid=data["cid"],
+                                   lease=Lease.from_dict(data),
+                                   age=age, held=held))
+        return views
+
+    def scrub_fenced(self, view) -> None:
+        # Fenced leases cannot linger server-side: reclaim removes the
+        # lease and the fence refuses resurrection, atomically.
+        pass
+
+    def reclaim(self, cell: CellSpec, lease, *,
+                terminal: Optional[CellResult] = None) -> bool:
+        response = self._rpc("reclaim", "/reclaim", {
+            "cid": cell.cid,
+            "token": getattr(lease, "token", 0),
+            "attempt": cell.attempt,
+            "released": cell.released,
+            # A delta, not a timestamp: the service re-anchors it on its
+            # own clock (cross-host clock skew must not stretch fences).
+            "backoff": max(0.0, cell.not_before - time.time()),
+            "terminal": terminal.to_dict() if terminal is not None else None,
+        })
+        return bool(response.get("ok"))
+
+    def has_checkpoint(self, cell: CellSpec, path: str) -> bool:
+        response = self._rpc("has-checkpoint",
+                             "/has-checkpoint?cid=" + cell.cid)
+        return bool(response.get("exists"))
+
+    def new_results(self) -> List[CellResult]:
+        response = self._rpc("results", "/results")
+        out = []
+        for data in response.get("results", ()):
+            key = (data.get("cid"), data.get("attempt"), data.get("worker"))
+            if key in self._seen_results:
+                continue
+            self._seen_results.add(key)
+            out.append(CellResult.from_dict(data))
+        return out
+
+    # ------------------------------------------------------------- misc
+
+    def describe(self) -> str:
+        return self.endpoint
+
+    def resume_command(self, worker: Optional[str] = None) -> str:
+        cmd = f"python -m repro.farm worker --endpoint {self.endpoint}"
+        if worker:
+            cmd += f" --name {worker}"
+        return cmd
+
+    def close(self) -> None:
+        # The spool is left on disk deliberately: a parked checkpoint
+        # must survive the process that parked it.
+        pass

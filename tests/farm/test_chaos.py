@@ -280,6 +280,43 @@ def test_aggregator_flags_cold_restart():
     assert agg2.report.resumes == 1
 
 
+# ======================================= fence-stale lease (satellite 2)
+
+
+def test_fence_stale_lease_is_scrubbed_not_reclaimed(tmp_path, plain_small):
+    """A lease left behind by a pre-reclaim holder — its attempt is
+    below the published spec's (the fence) — must be scrubbed on the
+    broker's first scan, without waiting for TTL expiry and without
+    counting as a reclaim.  Before the fence-stale branch this lease
+    blocked its cell for a full lease_ttl."""
+    import dataclasses as dc
+
+    from repro.experiments.journal import cell_key
+    from repro.farm.lease import CellSpec, cid_of, claim, write_cell
+
+    farm = _farm(tmp_path, lease_ttl=30.0)  # TTL-expiry path cannot fire
+    farm.paths.ensure()
+    key = cell_key("gcc", "base", 4, _SPEC)
+    stale = CellSpec(
+        cid=cid_of(key), key=key, benchmark="gcc", scheme="base", width=4,
+        spec={"length": _SPEC.length, "warmup": _SPEC.warmup,
+              "seed": _SPEC.seed},
+    )
+    bumped = dc.replace(stale)
+    bumped.attempt = 2
+    write_cell(farm.paths, bumped)         # reclaim already fenced it...
+    assert claim(farm.paths, stale, "ghost", ttl=30.0)  # ...ghost lingers
+
+    result = run_matrix(_BENCH, ("base", _PRI), 4, _SPEC, farm=farm,
+                        retries=3)
+    _assert_identical(result, plain_small)
+    report = farm.report
+    assert report.completed == 4
+    assert report.reclaims == 0            # scrubbed, never "reclaimed"
+    assert report.divergent == 0
+    assert not os.path.exists(farm.paths.lease(stale.cid))
+
+
 # ================================================= broker crash + resume
 
 
@@ -369,10 +406,59 @@ def test_farm_status_cli_is_read_only(tmp_path, capsys):
     assert before == after  # status never writes
 
 
+def test_farm_status_salvages_torn_journal_tail(tmp_path, capsys):
+    """A broker crash mid-append leaves a torn final journal line.
+    ``farm status`` must salvage the valid prefix, say so explicitly,
+    and still never write — not raise, not silently under-report."""
+    from repro.farm.__main__ import main
+
+    farm = _farm(tmp_path)
+    run_matrix(("gcc",), ("base",), 4, _SPEC, farm=farm)
+    journal_path = os.path.join(farm.root, "journal.json")
+    with open(journal_path, "rb") as fh:
+        data = fh.read()
+    with open(journal_path, "wb") as fh:
+        fh.write(data[:-9])  # crash mid-append: the tail is torn
+    before = (os.path.getmtime(journal_path), os.path.getsize(journal_path))
+
+    assert main(["status", farm.root]) == 0
+    out = capsys.readouterr().out
+    assert "torn journal tail salvaged" in out
+    assert main(["status", farm.root, "--json"]) == 0
+    parsed = __import__("json").loads(capsys.readouterr().out)
+    assert "torn journal tail salvaged" in parsed["journal_note"]
+    after = (os.path.getmtime(journal_path), os.path.getsize(journal_path))
+    assert before == after  # salvage is read-only: the evidence stays
+
+
+def test_farm_status_reports_interior_journal_damage(tmp_path, capsys):
+    """Interior corruption (not a torn tail) truncates the usable
+    history; status must say where and point at fsck, exit 0."""
+    from repro.farm.__main__ import main
+
+    farm = _farm(tmp_path)
+    run_matrix(("gcc",), ("base",), 4, _SPEC, farm=farm)
+    journal_path = os.path.join(farm.root, "journal.json")
+    with open(journal_path, "rb") as fh:
+        lines = fh.read().split(b"\n")
+    assert len(lines) > 3
+    lines[1] = lines[1][:-1] + (b"X" if lines[1][-1:] != b"X" else b"Y")
+    with open(journal_path, "wb") as fh:
+        fh.write(b"\n".join(lines))
+
+    assert main(["status", farm.root]) == 0
+    out = capsys.readouterr().out
+    assert "journal damaged at line 2" in out
+    assert "fsck" in out
+
+
 def test_farm_faults_cli_lists_registry(capsys):
     from repro.farm.__main__ import main
 
     assert main(["faults"]) == 0
     out = capsys.readouterr().out
     for name in ("kill", "stall", "orphan", "evict", "double-lease"):
+        assert name in out
+    for name in ("net-drop", "net-delay", "net-disconnect",
+                 "net-duplicate", "net-stale"):
         assert name in out

@@ -137,6 +137,28 @@ def test_heartbeat_never_overwrites_foreign_lease(paths):
     assert current.cycle == 0  # untouched by the losing heartbeat
 
 
+def test_heartbeat_loses_to_attempt_fence_before_lease_unlink(paths):
+    """The heartbeat-at-TTL-boundary race, pinned: reclaim rewrites the
+    cell spec (attempt bumped) *before* unlinking the lease file, and a
+    heartbeat checks that fence before writing.  A heartbeat landing in
+    the gap — spec already bumped, lease file still present — must lose
+    deterministically and leave the lease file byte-identical; without
+    the fence its atomic rename would resurrect the file after the
+    broker's unlink, leaving a zombie that believed it held the cell."""
+    cell = _cell()
+    write_cell(paths, cell)
+    lease = claim(paths, cell, "w0", ttl=1.0)
+    bumped = dataclasses.replace(cell)
+    bumped.attempt = 2
+    write_cell(paths, bumped)  # reclaim step 1: the fence is up
+    with open(paths.lease(cell.cid), "rb") as fh:
+        before = fh.read()
+    with pytest.raises(LeaseLost, match="fences out"):
+        heartbeat(paths, lease, cycle=4096, committed=100)
+    with open(paths.lease(cell.cid), "rb") as fh:
+        assert fh.read() == before  # the loser never rewrote the file
+
+
 def test_lease_expiry_clock(paths):
     cell = _cell()
     write_cell(paths, cell)

@@ -1,0 +1,305 @@
+"""Network chaos suite: the farm's contract when the *wire* fails.
+
+The differential core: the same sweep driven over the filesystem
+backend, over a clean HTTP lease service, and over HTTP with
+deterministic wire faults (drops, delays, disconnects, duplicates,
+stale replays, and a mid-sweep partition that parks a worker) must fold
+bit-identical SimStats, exactly once — zero duplicate folds, zero
+divergence.  Wire faults are keyed to RPC sequence numbers
+(:class:`~repro.farm.inject.NetPlan`), so a red run is a finding, not
+flake.
+
+Plus the worker's graceful-degradation contract when the service is
+unreachable: typed exits (2: between cells, 3: mid-cell after parking
+a checkpoint) and a printed resume command — never a hang, never a raw
+socket traceback.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.stats import SimStats
+from repro.experiments import RunSpec, run_matrix
+from repro.farm import FarmSpec
+from repro.farm.inject import (
+    InjectPlan,
+    NetPlan,
+    NetworkChaos,
+    normalize_plans,
+    parse_plan,
+)
+from repro.farm.lease import (
+    CellSpec,
+    FarmPaths,
+    cid_of,
+    read_lease,
+    write_cell,
+)
+from repro.farm.server import FarmServer
+from repro.store import ArtifactError
+
+_SPEC = RunSpec(length=300, warmup=600, seed=2)
+_PRI = "PRI-refcount+ckptcount"
+_BENCH = ("gcc", "mesa")
+_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _assert_identical(farmed, plain):
+    for benchmark in plain:
+        for scheme in plain[benchmark]:
+            got = farmed[benchmark][scheme]
+            want = plain[benchmark][scheme]
+            assert isinstance(got, SimStats), (benchmark, scheme, got)
+            assert got.to_dict() == want.to_dict(), (benchmark, scheme)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [_SRC] + env.get("PYTHONPATH", "").split(os.pathsep))
+    return env
+
+
+def _http_farm(tmp_path, server, **kw):
+    """A farm whose broker and workers all speak to ``server``; the
+    broker-local root holds only the sweep journal."""
+    defaults = dict(workers=2, lease_ttl=1.0, heartbeat_interval=0.1,
+                    poll_interval=0.05, checkpoint_every=120, grace=4.0,
+                    endpoint=server.url, rpc_timeout=5.0, rpc_deadline=8.0)
+    defaults.update(kw)
+    return FarmSpec(root=str(tmp_path / "broker"), **defaults)
+
+
+@pytest.fixture(scope="module")
+def plain_small():
+    """Fault-free, farm-free reference for the 2x2 matrix."""
+    return run_matrix(_BENCH, ("base", _PRI), 4, _SPEC)
+
+
+@pytest.fixture
+def lease_server(tmp_path):
+    server = FarmServer(str(tmp_path / "server-root")).start()
+    yield server
+    server.stop()
+
+
+# ================================================== differential: clean
+
+
+def test_http_transport_matches_fs_and_plain(tmp_path, lease_server,
+                                             plain_small):
+    """The tentpole differential, clean half: fs backend and HTTP
+    backend both fold bit-identical to a farm-free run."""
+    fs_farm = FarmSpec(root=str(tmp_path / "fs"), workers=2, lease_ttl=1.0,
+                       heartbeat_interval=0.1, poll_interval=0.05,
+                       checkpoint_every=120, grace=4.0)
+    over_fs = run_matrix(_BENCH, ("base", _PRI), 4, _SPEC, farm=fs_farm)
+    _assert_identical(over_fs, plain_small)
+
+    http_farm = _http_farm(tmp_path, lease_server)
+    over_http = run_matrix(_BENCH, ("base", _PRI), 4, _SPEC, farm=http_farm)
+    _assert_identical(over_http, plain_small)
+    report = http_farm.report
+    assert report.completed == 4
+    assert report.failed == 0
+    assert report.divergent == 0
+    assert report.duplicates == 0
+    assert report.cold_restarts == 0
+    # The cells/leases/results live on the server's root, not the
+    # broker-local one (which holds only the journal).
+    assert not os.listdir(FarmPaths(http_farm.root).cells)
+    assert os.listdir(FarmPaths(lease_server.state.paths.root).results)
+
+
+# ================================================== differential: chaos
+
+
+def test_http_under_wire_chaos_matches_plain(tmp_path, lease_server,
+                                             plain_small):
+    """Every wire fault at once — dropped claims, a torn-connection
+    completion, a duplicated claim, delayed heartbeats, a stale replay —
+    and the folded matrix must not move by one bit."""
+    farm = _http_farm(
+        tmp_path, lease_server,
+        inject=(
+            "net-drop:worker=0:op=claim:seq=0:count=2",
+            "net-disconnect:worker=0:op=complete:seq=0:count=1",
+            "net-duplicate:worker=1:op=claim:seq=0:count=1",
+            "net-delay:worker=1:op=heartbeat:seq=2:count=3:delay=0.2",
+            "net-stale:worker=0:op=heartbeat:seq=3:count=1",
+        ),
+    )
+    result = run_matrix(_BENCH, ("base", _PRI), 4, _SPEC, farm=farm,
+                        retries=3)
+    _assert_identical(result, plain_small)
+    report = farm.report
+    assert report.completed == 4              # exactly-once, no loss
+    assert report.failed == 0
+    assert report.divergent == 0
+    assert report.duplicates == 0             # fencing rejected any zombie
+    assert report.cold_restarts == 0
+
+
+def test_mid_sweep_partition_parks_worker_and_sweep_completes(
+        tmp_path, lease_server, plain_small):
+    """The acceptance scenario: one worker is partitioned from the
+    service mid-cell (every heartbeat dropped from its third onward).
+    It must exhaust its retry deadline, park, and exit typed; the
+    broker respawns a replacement, the cell's lease expires and is
+    reclaimed, and the sweep still folds bit-identical with zero
+    duplicates."""
+    farm = _http_farm(
+        tmp_path, lease_server,
+        rpc_deadline=1.5,
+        inject=("net-drop:worker=0:op=heartbeat:seq=2:count=100000",),
+    )
+    result = run_matrix(_BENCH, ("base", _PRI), 4, _SPEC, farm=farm,
+                        retries=3)
+    _assert_identical(result, plain_small)
+    report = farm.report
+    assert report.completed == 4
+    assert report.failed == 0
+    assert report.divergent == 0
+    assert report.duplicates == 0
+    assert report.respawns >= 1               # the parked worker was replaced
+    assert report.reclaims >= 1               # ... and its lease reclaimed
+
+
+def test_chaos_schedule_is_deterministic_given_plans():
+    """The injection schedule is a pure function of the request
+    pattern: same plans, same op sequence, same faults — never a
+    function of wall time."""
+    plans = (NetPlan(fault="net-drop", op="claim", seq=1, count=2),
+             NetPlan(fault="net-delay", seq=5, count=1))
+    ops = ["claim", "cells", "claim", "claim", "done", "cells", "claim"]
+
+    def drive():
+        chaos = NetworkChaos(plans)
+        return [plan.fault if (plan := chaos.intercept(op)) else None
+                for op in ops]
+
+    first = drive()
+    assert first == drive()
+    # op-scoped plan counts only "claim" attempts; the global one counts
+    # every attempt.
+    assert first == [None, None, "net-drop", "net-drop", None,
+                     "net-delay", None]
+
+
+def test_retries_advance_the_injection_sequence():
+    """A retry is a new wire attempt with a new sequence number, so a
+    finite drop window is always escaped — the schedule cannot trap the
+    retry loop forever."""
+    chaos = NetworkChaos((NetPlan(fault="net-drop", op="claim", seq=0,
+                                  count=3),))
+    outcomes = [chaos.intercept("claim") for _ in range(5)]
+    assert [p.fault if p else None for p in outcomes] == \
+        ["net-drop", "net-drop", "net-drop", None, None]
+
+
+# ========================================================== plan parsing
+
+
+def test_net_plan_parse_roundtrip():
+    plan = parse_plan("net-delay:worker=1:op=heartbeat:seq=3:count=2"
+                      ":delay=0.2")
+    assert plan == NetPlan(fault="net-delay", worker=1, op="heartbeat",
+                           seq=3, count=2, delay=0.2)
+    assert NetPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_parse_plan_dispatches_on_net_prefix():
+    assert isinstance(parse_plan("kill:worker=1:cycles=400"), InjectPlan)
+    assert isinstance(parse_plan("net-drop:op=claim"), NetPlan)
+    with pytest.raises(ValueError):
+        parse_plan("net-teleport:seq=0")
+    with pytest.raises(ValueError):
+        parse_plan("net-drop:bogus=1")
+
+
+def test_normalize_plans_accepts_mixed_kinds():
+    plans = normalize_plans([
+        "net-drop:worker=1:op=claim",
+        "stall:worker=0:cycles=200",
+        {"fault": "net-stale", "op": "heartbeat", "seq": 2},
+        NetPlan(fault="net-delay"),
+    ])
+    kinds = [type(p).__name__ for p in plans]
+    assert kinds == ["NetPlan", "InjectPlan", "NetPlan", "NetPlan"]
+
+
+# ===================================== unreachable service (satellite 4)
+
+
+def test_worker_unreachable_at_startup_exits_2():
+    """Nothing in flight: the worker must give up after its retry
+    deadline with exit status 2, a typed message, and the exact resume
+    command — not a hang, not a traceback."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.farm", "worker",
+         "--endpoint", "http://127.0.0.1:1", "--name", "lonely",
+         "--rpc-timeout", "0.2", "--rpc-deadline", "0.5"],
+        env=_env(), capture_output=True, text=True, timeout=60,
+    )
+    assert proc.returncode == 2
+    assert "transport unreachable (no cell in flight)" in proc.stderr
+    assert ("resume with: python -m repro.farm worker "
+            "--endpoint http://127.0.0.1:1 --name lonely") in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+def test_worker_parks_checkpoint_when_service_dies_mid_cell(tmp_path):
+    """The service vanishes while a cell is simulating: the worker must
+    save a local checkpoint at the exact cycle it gave up, print where
+    it parked it plus the resume command, and exit 3."""
+    root = str(tmp_path / "server-root")
+    paths = FarmPaths(root).ensure()
+    key = "gcc|base|w4|long-cell"
+    cell = CellSpec(cid=cid_of(key), key=key, benchmark="gcc",
+                    scheme="base", width=4,
+                    spec={"length": 4000, "warmup": 8000, "seed": 2})
+    write_cell(paths, cell)
+    server = FarmServer(root).start()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.farm", "worker",
+         "--endpoint", server.url, "--name", "parker",
+         "--heartbeat", "0.05", "--poll", "0.05",
+         "--checkpoint-every", "200",
+         "--rpc-timeout", "1", "--rpc-deadline", "1"],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # Wait for the first heartbeat (not just the claim): the cell
+        # must actually be simulating when the service vanishes, or the
+        # worker is correctly "unreachable between cells" (exit 2).
+        deadline = time.time() + 30
+        lease_path = paths.lease(cell.cid)
+        simulating = False
+        while time.time() < deadline and not simulating:
+            try:
+                simulating = read_lease(lease_path).cycle > 0
+            except (FileNotFoundError, ArtifactError):
+                pass
+            time.sleep(0.05)
+        assert simulating, "worker never heartbeat mid-cell"
+        server.stop()
+        _out, err = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+        server.stop()
+    assert proc.returncode == 3
+    assert "transport unreachable mid-cell" in err
+    assert "resume with: python -m repro.farm worker --endpoint" in err
+    parked = [line.split("checkpoint parked at ", 1)[1].strip()
+              for line in err.splitlines()
+              if "checkpoint parked at " in line]
+    assert parked, err
+    assert os.path.exists(parked[0])  # the parked cycles survive the exit
+    assert "Traceback" not in err

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Drive a sweep over the HTTP lease transport under wire faults.
+
+The network-chaos CI job's end-to-end check, runnable locally::
+
+    PYTHONPATH=src python tools/ci_network_chaos.py [DIR]
+
+Runs a small (benchmark x scheme) matrix three ways: plainly, through
+an in-process HTTP lease service (:mod:`repro.farm.server`) on a clean
+wire, and again while :mod:`repro.farm.inject` drops, delays,
+disconnects, duplicates, and stale-replays individual RPCs — including
+a mid-sweep partition that forces one worker to exhaust its retry
+deadline, park its cell, and exit typed.  The run fails if:
+
+* any cell is **lost** or its stats differ from the fault-free run
+  bit-for-bit, on either the clean or the chaotic wire;
+* any completion is folded **twice** (the fencing tokens and idempotent
+  request ids must keep aggregation exactly-once — over HTTP, zombie
+  writes are rejected server-side, so even ``duplicates`` must be 0);
+* the partitioned sweep does not **degrade gracefully** (the parked
+  worker must be respawned and its lease reclaimed);
+* the lease server's root does not verify under ``fsck`` (its cells,
+  leases, and results are the same checksummed envelopes the
+  filesystem transport writes).
+
+Exit status 0 when every invariant holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+BENCHMARKS = ("gcc", "mesa")
+SCHEMES = ("base", "ER", "PRI-refcount+ckptcount")
+INJECT = (
+    "net-drop:worker=0:op=claim:seq=0:count=2",      # routing hole
+    "net-disconnect:worker=0:op=complete:seq=0:count=1",  # torn connection
+    "net-duplicate:worker=1:op=claim:seq=0:count=1",      # double delivery
+    "net-delay:worker=1:op=heartbeat:seq=2:count=3:delay=0.2",
+    "net-stale:worker=0:op=heartbeat:seq=3:count=1",      # proxy replay
+)
+PARTITION = ("net-drop:worker=0:op=heartbeat:seq=2:count=100000",)
+
+
+def _check_run(tag, farm, farmed, plain, failures, *, partition=False):
+    report = farm.report
+    print(f"[{tag}] farm report: {report.to_dict()}")
+    for benchmark in BENCHMARKS:
+        for scheme in SCHEMES:
+            want = plain[benchmark][scheme]
+            got = farmed[benchmark].get(scheme)
+            if got is None or not hasattr(got, "to_dict"):
+                failures.append(f"{tag}: lost cell {benchmark}/{scheme} "
+                                f"-> {got!r}")
+            elif got.to_dict() != want.to_dict():
+                failures.append(f"{tag}: divergent cell {benchmark}/{scheme}")
+    if report.completed != report.cells:
+        failures.append(f"{tag}: completed {report.completed}/{report.cells}")
+    if report.failed:
+        failures.append(f"{tag}: {report.failed} cell(s) marked failed")
+    if report.divergent:
+        failures.append(f"{tag}: {report.divergent} divergent duplicate(s)")
+    if report.duplicates:
+        # Over HTTP the fence rejects zombie completions at the door:
+        # not even a bit-identical duplicate should reach the folder.
+        failures.append(f"{tag}: {report.duplicates} duplicate fold(s)")
+    if partition and report.respawns < 1:
+        failures.append(f"{tag}: partitioned worker was never respawned")
+    if partition and report.reclaims < 1:
+        failures.append(f"{tag}: partitioned cell was never reclaimed")
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    base = args[0] if args else "network-chaos"
+
+    from repro.experiments import RunSpec, run_matrix
+    from repro.farm import FarmSpec
+    from repro.farm.server import FarmServer
+
+    spec = RunSpec(length=400, warmup=800, seed=3)
+    print(f"fault-free reference: {len(BENCHMARKS) * len(SCHEMES)} cells")
+    plain = run_matrix(BENCHMARKS, SCHEMES, 4, spec)
+    failures: list = []
+
+    runs = (
+        ("clean-http", (), 8.0),
+        ("wire-chaos", INJECT, 8.0),
+        ("partition", PARTITION, 1.5),
+    )
+    for tag, inject, rpc_deadline in runs:
+        server_root = os.path.join(base, f"{tag}-server")
+        server = FarmServer(server_root).start()
+        try:
+            farm = FarmSpec(
+                root=os.path.join(base, f"{tag}-broker"), workers=2,
+                endpoint=server.url, rpc_timeout=5.0,
+                rpc_deadline=rpc_deadline, lease_ttl=1.5,
+                heartbeat_interval=0.1, poll_interval=0.05,
+                checkpoint_every=150, grace=5.0, inject=inject,
+            )
+            print(f"[{tag}] lease service at {server.url}, "
+                  f"{len(inject)} wire fault(s)")
+            farmed = run_matrix(BENCHMARKS, SCHEMES, 4, spec, farm=farm,
+                                retries=4)
+        finally:
+            server.stop()
+        _check_run(tag, farm, farmed, plain, failures,
+                   partition=(tag == "partition"))
+
+        from repro.store.fsck import fsck_tree
+
+        fsck = fsck_tree(server_root)
+        for finding in fsck.findings:
+            if finding.status != "ok":
+                print(finding)
+        print(f"[{tag}] {fsck.summary()}")
+        if fsck.unrepaired:
+            failures.append(
+                f"{tag}: fsck found {len(fsck.unrepaired)} unrepaired "
+                "problem(s) on the server root")
+
+    for line in failures:
+        print(f"FAIL: {line}")
+    if not failures:
+        print("network-chaos invariants hold: bit-identical folds on a "
+              "clean and a faulty wire, exactly-once aggregation, "
+              "graceful degradation under partition, clean fsck")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
