@@ -1,0 +1,122 @@
+"""Record → enumerate → recover → check, for one workload at a time.
+
+A workload is the unit of coverage: it exercises one durability layer's
+write path against a live root while a :class:`CrashRecorder` listens,
+declares its acknowledgment points, and knows how to (a) run that
+layer's recovery against an arbitrary crash image and (b) state the
+layer-specific half of the oracle.  The harness supplies the universal
+half: recovery must terminate without an unhandled exception, and after
+``fsck --repair`` the tree must verify clean.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.crash.oplog import CrashRecorder, Op
+from repro.crash.replay import CrashState, enumerate_states, materialize
+from repro.store import fsck_tree
+
+
+@dataclass
+class Workload:
+    """One durability layer's crash-consistency contract.
+
+    ``run(root, ack)`` performs the writes, calling ``ack(label,
+    **info)`` immediately after each API that promises durability
+    returns.  ``recover(root)`` runs the owning layer's recovery path
+    against a crash image.  ``check(root, acked)`` returns a list of
+    oracle-violation strings given which acks preceded the crash.
+    """
+
+    name: str
+    description: str
+    run: Callable[[str, Callable], None]
+    recover: Callable[[str], None]
+    check: Callable[[str, List[Op]], List[str]]
+
+
+@dataclass
+class Violation:
+    """One crash state that recovery failed to handle."""
+
+    workload: str
+    state: CrashState
+    problem: str
+
+    def __str__(self) -> str:
+        return (f"[{self.workload}] {self.state.description}: "
+                f"{self.problem}")
+
+
+@dataclass
+class CrashReport:
+    """Everything the harness learned about one workload."""
+
+    workload: str
+    ops: int = 0
+    crash_points: int = 0
+    states: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def run_harness(
+    workload: Workload,
+    base_dir: str,
+    limit: Optional[int] = None,
+) -> CrashReport:
+    """Record the workload's op log, enumerate every reachable crash
+    state, and put each one through recovery plus the oracle.
+
+    ``limit`` caps the number of states checked (smoke-test mode); the
+    CI gate runs unlimited.
+    """
+    live = os.path.join(base_dir, "live")
+    os.makedirs(live, exist_ok=True)
+    with CrashRecorder(live) as recorder:
+        workload.run(live, recorder.ack)
+
+    report = CrashReport(workload=workload.name, ops=len(recorder.ops),
+                         crash_points=len(recorder.ops) + 1)
+    scratch = os.path.join(base_dir, "scratch")
+    for state in enumerate_states(recorder.ops):
+        if limit is not None and report.states >= limit:
+            break
+        report.states += 1
+        if os.path.exists(scratch):
+            shutil.rmtree(scratch)
+        materialize(state.fs, scratch)
+        try:
+            workload.recover(scratch)
+        except Exception as exc:  # noqa: BLE001 - the oracle's business
+            report.violations.append(Violation(
+                workload.name, state,
+                f"recovery raised {type(exc).__name__}: {exc}"))
+            continue
+        for problem in workload.check(scratch, state.acked):
+            report.violations.append(Violation(workload.name, state, problem))
+        # Universal oracle: whatever recovery left behind, a repair pass
+        # must converge and a plain verify pass must then come up clean.
+        repair = fsck_tree(scratch, repair=True)
+        if repair.unrepaired:
+            report.violations.append(Violation(
+                workload.name, state,
+                "fsck --repair left unrepaired damage: "
+                + "; ".join(f"{f.path}: {f.status}"
+                            for f in repair.unrepaired[:3])))
+            continue
+        verify = fsck_tree(scratch)
+        if verify.unrepaired:
+            report.violations.append(Violation(
+                workload.name, state,
+                "post-repair fsck still dirty: "
+                + "; ".join(f"{f.path}: {f.status}"
+                            for f in verify.unrepaired[:3])))
+    return report

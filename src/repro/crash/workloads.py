@@ -1,0 +1,470 @@
+"""One crash-consistency workload per durability layer.
+
+Each workload exercises its layer's real write path (no mocks: the ops
+recorded are the ops production emits), declares acknowledgment points
+at exactly the API boundaries that promise durability, and states the
+layer's half of the recovery oracle.  The registry follows the
+``CORRUPTIONS`` / ``FAULTS`` pattern: ``WORKLOADS[name]`` is the
+injectable unit, ``python -m repro.crash run`` and the CI gate iterate
+it.
+
+The layers and their promises:
+
+=================== ==================================================
+store-envelope      after :func:`write_json_artifact` returns, the
+                    artifact holds the new payload — and never a mix,
+                    a truncation, or an older acked version
+journal-append      after ``record_ok`` returns, the cell is in the
+                    journal and survives any crash; a torn tail costs
+                    only un-acked records
+snapshot-checkpoint a checkpoint file always holds a *complete*
+                    snapshot at the latest acked cycle; completion may
+                    retire it but never tear it
+farm-lease          the cell spec's attempt number (the fence) never
+                    regresses below an acked value; acked results stay
+                    readable; lease files may vanish (liveness) but
+                    never poison recovery
+server-fence        the service's fencing-token counter never
+                    regresses below an issued token; acked completions
+                    survive restart
+journal-archive     once an incompatible journal is archived (the
+                    caller told where), the backup exists with the
+                    original bytes and the old journal cannot resurrect
+=================== ==================================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+from typing import Callable, Dict, List
+
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.core.stats import SimStats
+from repro.crash.harness import Workload
+from repro.crash.oplog import Op
+from repro.experiments.journal import SweepJournal
+from repro.farm import lease as fsl
+from repro.farm.lease import CellResult, CellSpec, FarmPaths, cid_of
+from repro.store import (
+    ArtifactError,
+    DigestMismatch,
+    MalformedRecord,
+    atomic_write_text,
+    read_json_artifact,
+    remove_file,
+    write_json_artifact,
+)
+from repro.store.__main__ import main as store_main
+
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def _register(name: str, description: str):
+    def wrap(cls) -> Workload:
+        WORKLOADS[name] = Workload(
+            name=name, description=description,
+            run=cls.run, recover=cls.recover, check=cls.check,
+        )
+        return cls
+    return wrap
+
+
+def _store_repair(root: str) -> None:
+    """``python -m repro.store repair`` as a recovery step; a nonzero
+    exit means unrepaired damage — an oracle violation, so raise."""
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        rc = store_main(["repair", "-q", root])
+    if rc != 0:
+        raise RuntimeError(f"store repair exited {rc}: {buf.getvalue().strip()}")
+
+
+def _acked(acked: List[Op], label: str) -> bool:
+    return any(op.label == label for op in acked)
+
+
+# ========================================================= store-envelope
+
+_DEMO_KIND = "demo-artifact"
+
+
+@_register("store-envelope",
+           "atomic envelope writes: create, overwrite, two files")
+class _StoreEnvelope:
+    @staticmethod
+    def run(root: str, ack: Callable) -> None:
+        alpha = os.path.join(root, "alpha.json")
+        beta = os.path.join(root, "beta.json")
+        write_json_artifact(alpha, _DEMO_KIND, 1, {"value": 1})
+        ack("alpha-v1", path="alpha.json", value=1)
+        write_json_artifact(alpha, _DEMO_KIND, 1, {"value": 2})
+        ack("alpha-v2", path="alpha.json", value=2)
+        write_json_artifact(beta, _DEMO_KIND, 1, {"value": 10})
+        ack("beta-v10", path="beta.json", value=10)
+
+    @staticmethod
+    def recover(root: str) -> None:
+        _store_repair(root)
+
+    @staticmethod
+    def check(root: str, acked: List[Op]) -> List[str]:
+        problems: List[str] = []
+        promised: Dict[str, int] = {}
+        for op in acked:
+            promised[op.info["path"]] = op.info["value"]
+        written = {"alpha.json": {1, 2}, "beta.json": {10}}
+        for rel, want in promised.items():
+            path = os.path.join(root, rel)
+            if not os.path.exists(path):
+                problems.append(f"acked artifact {rel} lost")
+                continue
+            try:
+                data, _ = read_json_artifact(path, _DEMO_KIND,
+                                             allow_legacy=False)
+            except ArtifactError as exc:
+                problems.append(f"acked artifact {rel} unreadable: {exc}")
+                continue
+            got = data.get("value")
+            if got not in written[rel]:
+                problems.append(f"{rel} holds phantom value {got!r}")
+            elif got < want:
+                problems.append(
+                    f"{rel} rolled back to {got} after value {want} was acked")
+        return problems
+
+
+# ========================================================= journal-append
+
+_JOURNAL_CELLS = {
+    "cellA": (1000, 400),
+    "cellB": (1001, 401),
+    "cellC": (1002, 402),
+}
+
+
+@_register("journal-append",
+           "sweep-journal append stream: first-record rewrite, ok cells, "
+           "an error cell")
+class _JournalAppend:
+    @staticmethod
+    def run(root: str, ack: Callable) -> None:
+        journal = SweepJournal(os.path.join(root, "journal.json"))
+        for key, (cycles, committed) in _JOURNAL_CELLS.items():
+            journal.record_ok(key, SimStats(cycles=cycles,
+                                            committed=committed))
+            ack(f"ok-{key}", key=key, cycles=cycles, committed=committed)
+        journal.record_error("cellD", {"error_type": "ValueError",
+                                       "message": "injected"})
+        ack("err-cellD", key="cellD")
+
+    @staticmethod
+    def recover(root: str) -> None:
+        path = os.path.join(root, "journal.json")
+        if not os.path.exists(path):
+            return
+        try:
+            SweepJournal(path)
+        except (DigestMismatch, MalformedRecord):
+            _store_repair(root)
+            SweepJournal(path)
+
+    @staticmethod
+    def check(root: str, acked: List[Op]) -> List[str]:
+        problems: List[str] = []
+        path = os.path.join(root, "journal.json")
+        any_acked = bool(acked)
+        if not os.path.exists(path):
+            if any_acked:
+                problems.append("journal lost with acked records")
+            return problems
+        try:
+            journal = SweepJournal(path)
+        except Exception as exc:  # noqa: BLE001 — any raise here is the bug
+            return [f"journal unloadable after recovery: {exc}"]
+        for op in acked:
+            key = op.info["key"]
+            if op.label.startswith("ok-"):
+                stats = journal.get(key)
+                if stats is None:
+                    problems.append(f"acked cell {key} lost from journal")
+                elif (stats.cycles, stats.committed) != (op.info["cycles"],
+                                                         op.info["committed"]):
+                    problems.append(f"acked cell {key} stats mutated")
+            elif op.label.startswith("err-") and key not in journal.errors():
+                problems.append(f"acked error cell {key} lost from journal")
+        known = set(_JOURNAL_CELLS) | {"cellD"}
+        for key in list(journal.errors()) + [
+                k for k in _JOURNAL_CELLS if journal.get(k) is not None]:
+            if key not in known:
+                problems.append(f"phantom journal cell {key}")
+        return problems
+
+
+# ==================================================== snapshot-checkpoint
+
+@_register("snapshot-checkpoint",
+           "checkpoint overwrite then completion: snapshot twice, write "
+           "result, retire the checkpoint")
+class _SnapshotCheckpoint:
+    @staticmethod
+    def run(root: str, ack: Callable) -> None:
+        ckpt = os.path.join(root, "cell.ckpt")
+        result = os.path.join(root, "result.json")
+        save_snapshot({"cycle": 100, "payload": "a" * 64}, ckpt)
+        ack("ckpt-100", cycle=100)
+        save_snapshot({"cycle": 200, "payload": "b" * 64}, ckpt)
+        ack("ckpt-200", cycle=200)
+        write_json_artifact(result, "farm-result", 1,
+                            {"status": "ok", "cycles": 200})
+        ack("completed")
+        remove_file(ckpt)  # un-acked retirement: may or may not persist
+
+    @staticmethod
+    def recover(root: str) -> None:
+        _store_repair(root)
+
+    @staticmethod
+    def check(root: str, acked: List[Op]) -> List[str]:
+        problems: List[str] = []
+        ckpt = os.path.join(root, "cell.ckpt")
+        result = os.path.join(root, "result.json")
+        ckpt_cycles = [op.info["cycle"] for op in acked
+                       if op.label.startswith("ckpt-")]
+        if _acked(acked, "completed"):
+            try:
+                data, _ = read_json_artifact(result, "farm-result",
+                                             allow_legacy=False)
+                if data.get("cycles") != 200:
+                    problems.append("acked result holds wrong payload")
+            except (OSError, ArtifactError) as exc:
+                problems.append(f"acked result lost: {exc}")
+            # The checkpoint may already be retired; if it survives it
+            # must still be the complete latest acked snapshot.
+            if os.path.exists(ckpt) and _snapshot_cycle(ckpt) != 200:
+                problems.append("stale checkpoint outlived completion")
+        elif ckpt_cycles:
+            latest = max(ckpt_cycles)
+            if not os.path.exists(ckpt):
+                problems.append(f"acked checkpoint (cycle {latest}) lost")
+            else:
+                cycle = _snapshot_cycle(ckpt)
+                if cycle is None:
+                    problems.append("acked checkpoint unreadable")
+                elif cycle < latest:
+                    problems.append(
+                        f"checkpoint rolled back to cycle {cycle} after "
+                        f"cycle {latest} was acked")
+                elif cycle not in (100, 200):
+                    problems.append(f"checkpoint holds phantom cycle {cycle}")
+        return problems
+
+
+def _snapshot_cycle(path: str):
+    try:
+        return load_snapshot(path).get("cycle")
+    except (OSError, ArtifactError):
+        return None
+
+
+# ============================================================= farm-lease
+
+_FARM_SPEC = {"length": 100, "warmup": 0, "seed": 1}
+
+
+@_register("farm-lease",
+           "lease protocol: publish, O_EXCL claim, heartbeats, result, "
+           "release, then a broker-style fence-bump reclaim")
+class _FarmLease:
+    @staticmethod
+    def run(root: str, ack: Callable) -> None:
+        paths = FarmPaths(root).ensure()
+        cell = CellSpec(cid=cid_of("k1"), key="k1", benchmark="gcc",
+                        scheme="base", width=4, spec=dict(_FARM_SPEC))
+        fsl.write_cell(paths, cell)
+        ack("cell-1", cid=cell.cid, attempt=1)
+        lease = fsl.claim(paths, cell, "w0", ttl=30.0)
+        assert lease is not None
+        ack("claim-1", cid=cell.cid)
+        fsl.heartbeat(paths, lease, cycle=50, committed=20)
+        fsl.heartbeat(paths, lease, cycle=80, committed=40)
+        fsl.write_result(paths, CellResult(
+            cid=cell.cid, key="k1", worker="w0", attempt=1, status="ok",
+            stats={"cycles": 100}))
+        ack("result-1", cid=cell.cid, attempt=1, worker="w0")
+        fsl.release(paths, lease)
+        ack("release-1", cid=cell.cid)
+        # Second cell: claimed, then reclaimed broker-style — the spec
+        # rewrite with the bumped attempt (the fence) strictly precedes
+        # the lease unlink.
+        cell2 = CellSpec(cid=cid_of("k2"), key="k2", benchmark="mesa",
+                         scheme="ER", width=4, spec=dict(_FARM_SPEC))
+        fsl.write_cell(paths, cell2)
+        ack("cell-2", cid=cell2.cid, attempt=1)
+        lease2 = fsl.claim(paths, cell2, "w1", ttl=30.0)
+        assert lease2 is not None
+        cell2.attempt = 2
+        fsl.write_cell(paths, cell2)
+        ack("fence-2", cid=cell2.cid, attempt=2)
+        remove_file(paths.lease(cell2.cid))
+
+    @staticmethod
+    def recover(root: str) -> None:
+        # The read side must get through any crash image untracebacked.
+        from repro.farm.__main__ import main as farm_main
+
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = farm_main(["status", root])
+        if rc != 0:
+            raise RuntimeError(f"farm status exited {rc}")
+        _store_repair(root)
+
+    @staticmethod
+    def check(root: str, acked: List[Op]) -> List[str]:
+        problems: List[str] = []
+        paths = FarmPaths(root)
+        fences: Dict[str, int] = {}
+        for op in acked:
+            if op.label.startswith(("cell-", "fence-")):
+                cid = op.info["cid"]
+                fences[cid] = max(fences.get(cid, 0), op.info["attempt"])
+        for cid, attempt in fences.items():
+            try:
+                cell = fsl.read_cell(paths.cell(cid))
+            except (OSError, ArtifactError) as exc:
+                problems.append(f"acked cell spec {cid} lost: {exc}")
+                continue
+            if cell.attempt < attempt:
+                problems.append(
+                    f"cell {cid} fence regressed to attempt {cell.attempt} "
+                    f"after attempt {attempt} was acked")
+        for op in acked:
+            if not op.label.startswith("result-"):
+                continue
+            path = paths.result(op.info["cid"], op.info["attempt"],
+                                op.info["worker"])
+            try:
+                fsl.read_result(path)
+            except (OSError, ArtifactError) as exc:
+                problems.append(f"acked result {op.label} lost: {exc}")
+        # Acked claims carry no durability promise (a lost lease file is
+        # re-claimed: liveness, not safety) — nothing to check for them.
+        return problems
+
+
+# =========================================================== server-fence
+
+@_register("server-fence",
+           "HTTP lease service state: publish, claim (token issue), "
+           "heartbeat, complete, second claim; recovery is _recover()")
+class _ServerFence:
+    @staticmethod
+    def run(root: str, ack: Callable) -> None:
+        from repro.farm.server import FarmState
+
+        state = FarmState(root)
+        c1 = CellSpec(cid=cid_of("s1"), key="s1", benchmark="gcc",
+                      scheme="base", width=4, spec=dict(_FARM_SPEC))
+        state.rpc_publish(c1.to_dict())
+        ack("publish-1", cid=c1.cid)
+        grant = state.rpc_claim(c1.cid, "w0", 30.0, 1)
+        ack("token-1", token=grant["lease"]["token"])
+        state.rpc_heartbeat(c1.cid, grant["lease"]["token"], 10, 5, None)
+        done = state.rpc_complete(CellResult(
+            cid=c1.cid, key="s1", worker="w0", attempt=1, status="ok",
+            stats={"cycles": 100}).to_dict(), grant["lease"]["token"])
+        assert done.get("ok") == 1
+        ack("complete-1", cid=c1.cid, attempt=1, worker="w0")
+        c2 = CellSpec(cid=cid_of("s2"), key="s2", benchmark="mesa",
+                      scheme="ER", width=4, spec=dict(_FARM_SPEC))
+        state.rpc_publish(c2.to_dict())
+        ack("publish-2", cid=c2.cid)
+        grant2 = state.rpc_claim(c2.cid, "w1", 30.0, 1)
+        ack("token-2", token=grant2["lease"]["token"])
+
+    @staticmethod
+    def recover(root: str) -> None:
+        from repro.farm.server import FarmState
+
+        FarmState(root)  # must rebuild from any crash image
+        _store_repair(root)
+
+    @staticmethod
+    def check(root: str, acked: List[Op]) -> List[str]:
+        from repro.farm.server import FarmState
+
+        problems: List[str] = []
+        state = FarmState(root)
+        tokens = [op.info["token"] for op in acked
+                  if op.label.startswith("token-")]
+        if tokens and state.fence < max(tokens):
+            problems.append(
+                f"fence counter recovered to {state.fence}, below issued "
+                f"token {max(tokens)} — a restart could reuse it")
+        for op in acked:
+            if op.label.startswith("publish-") and op.info["cid"] not in state.cells:
+                problems.append(f"acked cell {op.info['cid']} lost")
+            if op.label.startswith("complete-"):
+                key = (op.info["cid"], op.info["attempt"], op.info["worker"])
+                if key not in state._result_keys:
+                    problems.append(f"acked completion {key} lost")
+        return problems
+
+
+# ======================================================== journal-archive
+
+_LEGACY_DOC = json.dumps({"version": 2, "cells": {}})
+
+
+@_register("journal-archive",
+           "incompatible-journal migration: archive the v2 document, "
+           "start a fresh v3 journal — the _archive durability fix's "
+           "regression subject")
+class _JournalArchive:
+    @staticmethod
+    def run(root: str, ack: Callable) -> None:
+        path = os.path.join(root, "journal.json")
+        atomic_write_text(path, _LEGACY_DOC)
+        ack("legacy")
+        journal = SweepJournal(path, archive_incompatible=True)
+        # SweepJournal just told us where the archive lives; from this
+        # instant its path is reportable, so it must survive a crash.
+        ack("archived", backup=os.path.basename(journal.archived))
+        journal.record_ok("cellA", SimStats(cycles=1000, committed=400))
+        ack("ok-cellA")
+
+    @staticmethod
+    def recover(root: str) -> None:
+        _store_repair(root)
+
+    @staticmethod
+    def check(root: str, acked: List[Op]) -> List[str]:
+        problems: List[str] = []
+        path = os.path.join(root, "journal.json")
+        if not _acked(acked, "archived"):
+            return problems
+        backup = next(op.info["backup"] for op in acked
+                      if op.label == "archived")
+        backup_path = os.path.join(root, backup)
+        if not os.path.exists(backup_path):
+            problems.append(f"acked archive {backup} lost")
+        else:
+            with open(backup_path, encoding="utf-8") as handle:
+                if handle.read() != _LEGACY_DOC:
+                    problems.append(f"acked archive {backup} mutated")
+        if os.path.exists(path):
+            try:
+                journal = SweepJournal(path)
+            except ValueError:
+                problems.append(
+                    "incompatible journal resurrected after its archival "
+                    "was acked")
+            else:
+                if _acked(acked, "ok-cellA") and journal.get("cellA") is None:
+                    problems.append("acked cell lost from fresh journal")
+        elif _acked(acked, "ok-cellA"):
+            problems.append("fresh journal lost with acked cell")
+        return problems

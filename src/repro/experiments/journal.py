@@ -57,9 +57,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig, config_digest
 from repro.core.stats import SimStats
-from repro.store.atomic import atomic_writer, fsync_file
+from repro.store.atomic import atomic_writer, durable_replace
 from repro.store.errors import DigestMismatch, MalformedRecord
 from repro.store.integrity import (
+    append_checked_line,
     checked_line,
     read_checked_lines,
 )
@@ -235,8 +236,15 @@ class SweepJournal:
         self._archive(path, version)
 
     def _archive(self, path: str, version) -> None:
+        # The rename must be made durable *here*: the caller is told the
+        # archive's path (self.archived) as soon as we return, and the
+        # next directory fsync may be arbitrarily far away (the first
+        # append's rewrite).  Without the directory fsync a crash in
+        # that window resurrects the incompatible journal at `path` and
+        # silently loses the archive — the first gap the crash harness
+        # (repro.crash) caught, kept honest by a reverted-fix test.
         self.archived = f"{path}.v{version}.bak"
-        os.replace(path, self.archived)
+        durable_replace(path, self.archived)
 
     # --------------------------------------------------------- queries
 
@@ -303,10 +311,7 @@ class SweepJournal:
         if not self._initialized:
             self._rewrite()
             return
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(checked_line(record))
-            if durable:
-                fsync_file(handle)
+        append_checked_line(self.path, record, durable=durable)
 
     def _rewrite(self) -> None:
         """Atomically (re)write the whole journal: first record, or

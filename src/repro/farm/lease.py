@@ -52,8 +52,10 @@ from repro.retry import backoff_delay  # noqa: F401 — canonical home is
 from repro.store import (
     ArtifactError,
     atomic_write_bytes,
+    create_exclusive_bytes,
     envelope_bytes,
     read_json_artifact,
+    remove_file,
 )
 
 #: Envelope kinds (and schema versions) of the farm's artifacts.
@@ -228,16 +230,8 @@ def claim(paths: FarmPaths, cell: CellSpec, worker: str, ttl: float) -> Optional
         ttl=ttl, granted_unix=now, heartbeat_unix=now,
     )
     payload = envelope_bytes(LEASE_KIND, FARM_SCHEMA, lease.to_dict())
-    try:
-        fd = os.open(paths.lease(cell.cid),
-                     os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
-    except FileExistsError:
+    if not create_exclusive_bytes(paths.lease(cell.cid), payload):
         return None
-    try:
-        os.write(fd, payload)
-        os.fsync(fd)
-    finally:
-        os.close(fd)
     return lease
 
 
@@ -322,11 +316,7 @@ def release(paths: FarmPaths, lease: Lease) -> bool:
         return False
     if current.worker != lease.worker or current.attempt != lease.attempt:
         return False
-    try:
-        os.unlink(path)
-    except FileNotFoundError:
-        return False
-    return True
+    return remove_file(path)
 
 
 def list_leases(paths: FarmPaths) -> List[str]:

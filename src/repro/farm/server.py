@@ -66,6 +66,7 @@ from repro.store import (
     atomic_write_bytes,
     envelope_bytes,
     read_json_artifact,
+    remove_file,
 )
 
 #: Envelope kind of the persisted fencing-token counter.
@@ -145,10 +146,7 @@ class FarmState:
 
     def _drop_lease(self, cid: str) -> None:
         self.leases.pop(cid, None)
-        try:
-            os.unlink(self.paths.lease(cid))
-        except OSError:
-            pass
+        remove_file(self.paths.lease(cid))
 
     def _ckpt_path(self, cid: str) -> str:
         return os.path.join(self.paths.checkpoints, f"{cid}.snap")
@@ -208,10 +206,7 @@ class FarmState:
                 continue
             del self.cells[cid]
             self._drop_lease(cid)
-            try:
-                os.unlink(self.paths.cell(cid))
-            except OSError:
-                pass
+            remove_file(self.paths.cell(cid))
         return {"ok": 1}
 
     def rpc_claim(self, cid: str, worker: str, ttl: float,
@@ -281,10 +276,7 @@ class FarmState:
             return {"code": "fenced"}
         self._store_result(result)
         self._drop_lease(result.cid)
-        try:
-            os.unlink(self._ckpt_path(result.cid))
-        except OSError:
-            pass
+        remove_file(self._ckpt_path(result.cid))
         return {"ok": 1}
 
     def rpc_reclaim(self, cid: str, token: int, attempt: int,
@@ -303,10 +295,7 @@ class FarmState:
         if terminal is not None:
             self._store_result(CellResult.from_dict(terminal))
             self._drop_lease(cid)
-            try:
-                os.unlink(self._ckpt_path(cid))
-            except OSError:
-                pass
+            remove_file(self._ckpt_path(cid))
             return {"ok": 1}
         if cell.attempt < attempt:
             cell.attempt = attempt

@@ -19,7 +19,7 @@ from typing import List, Optional, Set
 from repro.farm import lease as fsl
 from repro.farm.lease import CellResult, CellSpec, FarmPaths, Lease
 from repro.farm.transport import LeaseView, Transport
-from repro.store import ArtifactError
+from repro.store import ArtifactError, remove_file
 
 
 class FsTransport(Transport):
@@ -93,10 +93,7 @@ class FsTransport(Transport):
         for cid in fsl.list_cells(self.paths):
             if cid not in keep:
                 for stale in (self.paths.cell(cid), self.paths.lease(cid)):
-                    try:
-                        os.unlink(stale)
-                    except OSError:
-                        pass
+                    remove_file(stale)
 
     def lease_views(self) -> List[LeaseView]:
         now = time.time()
@@ -138,10 +135,7 @@ class FsTransport(Transport):
             # lease file still exists — no worker can claim the stale
             # attempt in the gap, and in-flight heartbeats lose.
             fsl.write_cell(self.paths, cell)
-        try:
-            os.unlink(self.paths.lease(cell.cid))
-        except OSError:
-            pass
+        remove_file(self.paths.lease(cell.cid))
         return True
 
     def has_checkpoint(self, cell: CellSpec, path: str) -> bool:

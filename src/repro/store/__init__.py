@@ -32,13 +32,25 @@ fails loudly and locally, never silently.
 """
 
 from repro.store.atomic import (
+    FSYNC_DIR_STATS,
+    FsyncDirStats,
     TMP_SUFFIX,
+    add_fsync_dir_hook,
+    add_io_observer,
     atomic_write_bytes,
     atomic_write_text,
     atomic_writer,
+    create_exclusive_bytes,
+    durable_replace,
     fsync_dir,
     fsync_file,
+    notify_io,
     quarantine_path,
+    remove_file,
+    remove_fsync_dir_hook,
+    remove_io_observer,
+    set_strict_fsync_dir,
+    strict_fsync_dir,
 )
 from repro.store.errors import (
     ArtifactError,
@@ -71,26 +83,38 @@ __all__ = [
     "DigestMismatch",
     "ENVELOPE_MAGIC",
     "ENVELOPE_VERSION",
+    "FSYNC_DIR_STATS",
     "Finding",
     "FsckReport",
+    "FsyncDirStats",
     "MalformedRecord",
     "SchemaMismatch",
     "TMP_SUFFIX",
     "TruncatedArtifact",
+    "add_fsync_dir_hook",
+    "add_io_observer",
     "append_checked_line",
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_writer",
     "checked_line",
     "corrupt",
+    "create_exclusive_bytes",
+    "durable_replace",
     "envelope_bytes",
     "fsck_tree",
     "fsync_dir",
     "fsync_file",
+    "notify_io",
     "quarantine_path",
     "read_checked_lines",
     "read_json_artifact",
+    "remove_file",
+    "remove_fsync_dir_hook",
+    "remove_io_observer",
+    "set_strict_fsync_dir",
     "sha256_hex",
+    "strict_fsync_dir",
     "verify_envelope",
     "write_json_artifact",
 ]

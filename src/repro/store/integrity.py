@@ -40,7 +40,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
-from repro.store.atomic import atomic_write_bytes
+from repro.store.atomic import atomic_write_bytes, notify_io
 from repro.store.errors import (
     DigestMismatch,
     MalformedRecord,
@@ -348,8 +348,16 @@ def read_checked_lines(path: str) -> SalvageResult:
 def append_checked_line(path: str, payload: Any, *, durable: bool = True) -> None:
     """Append one checksummed record and (by default) fsync the file —
     the append-only analogue of :func:`write_json_artifact`."""
+    line = checked_line(payload)
+    try:
+        offset = os.path.getsize(path)
+    except OSError:
+        offset = 0
     with open(path, "a", encoding="utf-8") as fh:
-        fh.write(checked_line(payload))
+        fh.write(line)
+        notify_io(op="append", path=path, data=line.encode("utf-8"),
+                  offset=offset)
         if durable:
             fh.flush()
             os.fsync(fh.fileno())
+            notify_io(op="fsync", path=path)

@@ -1,0 +1,42 @@
+"""Reverted-fix regression: the harness must catch the `_archive` gap.
+
+`SweepJournal._archive` used to `os.replace` the incompatible journal
+to its `.bak` name without fsyncing the directory, then report the
+archive's path to the caller — so a crash in the window between that
+return and the next directory fsync could resurrect the incompatible
+journal and silently lose the acked archive.  The fix is
+`durable_replace` (rename + directory fsync).
+
+This test re-introduces the bug behind a monkeypatch and asserts the
+crash harness *flags it* — proving the harness has the teeth to catch
+this class of gap — then re-runs with the real implementation and
+asserts the sweep is clean.  If a refactor ever quietly drops the
+directory fsync again, `test_workload_recovers_from_every_crash_state`
+goes red; if the harness ever quietly loses the ability to see the
+gap, this test goes red.
+"""
+
+from repro.crash import WORKLOADS, run_harness
+from repro.experiments.journal import SweepJournal
+from repro.store.atomic import durable_replace
+
+
+def _archive_without_dir_fsync(self, path, version):
+    # The pre-fix behavior: rename reported as done, durability deferred
+    # to whenever the next append happens to fsync the directory.
+    self.archived = f"{path}.v{version}.bak"
+    durable_replace(path, self.archived, durable=False)
+
+
+def test_harness_flags_the_unfixed_archive_gap(tmp_path, monkeypatch):
+    monkeypatch.setattr(SweepJournal, "_archive", _archive_without_dir_fsync)
+    report = run_harness(WORKLOADS["journal-archive"], str(tmp_path))
+    assert not report.clean, \
+        "harness lost the ability to detect a non-durable archive rename"
+    problems = "\n".join(v.problem for v in report.violations)
+    assert "archive" in problems or "resurrected" in problems
+
+
+def test_fixed_archive_survives_every_crash_state(tmp_path):
+    report = run_harness(WORKLOADS["journal-archive"], str(tmp_path))
+    assert report.clean, "\n".join(str(v) for v in report.violations[:10])

@@ -1,0 +1,88 @@
+"""The recorder: what gets captured, normalized, and filtered."""
+
+import os
+
+from repro.crash import CrashRecorder
+from repro.store import (
+    atomic_write_bytes,
+    create_exclusive_bytes,
+    durable_replace,
+    remove_file,
+)
+
+
+def test_atomic_write_records_write_fsync_rename_fsyncdir(tmp_path):
+    root = str(tmp_path)
+    with CrashRecorder(root) as rec:
+        atomic_write_bytes(os.path.join(root, "a.json"), b"payload")
+    kinds = [op.kind for op in rec.ops]
+    assert kinds == ["write", "fsync", "rename", "fsync_dir"]
+    write, _, rename, fsync_dir = rec.ops
+    assert write.data == b"payload"
+    assert write.path.endswith(".tmp")
+    assert rename.dst == "a.json"
+    assert fsync_dir.path == "" and not fsync_dir.skipped
+
+
+def test_non_durable_write_has_no_barriers(tmp_path):
+    root = str(tmp_path)
+    with CrashRecorder(root) as rec:
+        atomic_write_bytes(os.path.join(root, "a.json"), b"x", durable=False)
+    assert [op.kind for op in rec.ops] == ["write", "rename"]
+
+
+def test_create_exclusive_and_unlink_are_recorded(tmp_path):
+    root = str(tmp_path)
+    path = os.path.join(root, "x.lease")
+    with CrashRecorder(root) as rec:
+        assert create_exclusive_bytes(path, b"claim")
+        assert not create_exclusive_bytes(path, b"rival")  # loser: no ops
+        assert remove_file(path)
+        assert not remove_file(path)
+    assert [op.kind for op in rec.ops] == ["create", "write", "fsync",
+                                           "unlink"]
+
+
+def test_events_outside_root_are_dropped(tmp_path):
+    root = str(tmp_path / "inside")
+    os.makedirs(root)
+    outside = str(tmp_path / "outside")
+    os.makedirs(outside)
+    with CrashRecorder(root) as rec:
+        atomic_write_bytes(os.path.join(outside, "o.json"), b"x")
+        atomic_write_bytes(os.path.join(root, "i.json"), b"y")
+        # Rename leaving the root is dropped too: the model stays closed.
+        durable_replace(os.path.join(root, "i.json"),
+                        os.path.join(outside, "gone.json"))
+    paths = {op.path for op in rec.ops} | {op.dst for op in rec.ops if op.dst}
+    assert all("outside" not in p for p in paths)
+    assert any(op.dst == "i.json" for op in rec.ops)
+
+
+def test_ack_pseudo_ops_interleave_in_order(tmp_path):
+    root = str(tmp_path)
+    with CrashRecorder(root) as rec:
+        atomic_write_bytes(os.path.join(root, "a.json"), b"1")
+        rec.ack("first", value=1)
+        atomic_write_bytes(os.path.join(root, "a.json"), b"2")
+        rec.ack("second", value=2)
+    acks = [(i, op) for i, op in enumerate(rec.ops) if op.kind == "ack"]
+    assert [op.label for _, op in acks] == ["first", "second"]
+    assert acks[0][0] == 4 and acks[1][0] == 9
+    assert acks[0][1].info == {"value": 1}
+
+
+def test_recorder_unsubscribes_on_exit(tmp_path):
+    root = str(tmp_path)
+    with CrashRecorder(root) as rec:
+        pass
+    atomic_write_bytes(os.path.join(root, "late.json"), b"x")
+    assert rec.ops == []
+
+
+def test_paths_are_root_relative_with_forward_slashes(tmp_path):
+    root = str(tmp_path)
+    os.makedirs(os.path.join(root, "leases"))
+    with CrashRecorder(root) as rec:
+        create_exclusive_bytes(os.path.join(root, "leases", "c.lease"), b"l")
+    assert rec.ops[0].path == "leases/c.lease"

@@ -1,0 +1,149 @@
+"""SIGKILL the lease service mid-sweep, restart it, finish the sweep.
+
+The service's whole recovery story — cells, leases, results, and the
+fencing-token counter rebuilt from disk (``fence.json``), idempotent
+RPCs riding out the lost rid cache — exercised the honest way: a real
+``python -m repro.farm serve`` process killed with SIGKILL (no atexit,
+no flush, no goodbye) between RPCs and restarted on the same root and
+port.  The broker and workers must retry through the outage, fencing
+tokens must never regress (a reused token would let a zombie write),
+and the folded matrix must land bit-identical with zero duplicates.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.stats import SimStats
+from repro.experiments import RunSpec, run_matrix
+from repro.farm import FarmSpec
+from repro.farm.lease import FarmPaths
+
+_SPEC = RunSpec(length=300, warmup=600, seed=3)
+_PRI = "PRI-refcount+ckptcount"
+_BENCH = ("gcc", "mesa")
+_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [_SRC] + env.get("PYTHONPATH", "").split(os.pathsep))
+    return env
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _serve(root: str, port: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.farm", "serve", root,
+         "--host", "127.0.0.1", "--port", str(port)],
+        env=_env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _get(url: str, path: str, timeout: float = 2.0) -> dict:
+    with urllib.request.urlopen(url + path, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _wait_ping(url: str, deadline: float = 30.0) -> dict:
+    end = time.time() + deadline
+    while time.time() < end:
+        try:
+            return _get(url, "/ping")
+        except OSError:
+            time.sleep(0.05)
+    raise AssertionError(f"lease service at {url} never came up")
+
+
+def _kill_and_restart(proc, root, port, url, state):
+    """Wait for a live lease (a worker mid-cell), snapshot the fence,
+    SIGKILL the service, restart it on the same root and port."""
+    end = time.time() + 120
+    while time.time() < end:
+        try:
+            if _get(url, "/leases")["leases"]:
+                break
+        except OSError:
+            pass
+        time.sleep(0.01)
+    else:
+        return  # sweep finished before a lease was ever observed
+    state["prekill_fence"] = _get(url, "/ping")["fence"]
+    proc.kill()  # SIGKILL: no shutdown path runs
+    proc.wait()
+    state["killed"] = True
+    time.sleep(0.2)  # let in-flight RPCs fail, workers start retrying
+    state["restarted"] = _serve(root, port)
+    _wait_ping(url)
+
+
+@pytest.fixture
+def plain_small():
+    return run_matrix(_BENCH, ("base", _PRI), 4, _SPEC)
+
+
+def test_sigkill_restart_mid_sweep_is_exactly_once(tmp_path, plain_small):
+    root = str(tmp_path / "server-root")
+    FarmPaths(root).ensure()
+    port = _free_port()
+    url = f"http://127.0.0.1:{port}"
+    proc = _serve(root, port)
+    state = {"prekill_fence": 0, "killed": False, "restarted": None}
+    try:
+        _wait_ping(url)
+        killer = threading.Thread(
+            target=_kill_and_restart, args=(proc, root, port, url, state),
+            daemon=True)
+        killer.start()
+        farm = FarmSpec(
+            root=str(tmp_path / "broker"), workers=2, endpoint=url,
+            rpc_timeout=1.0, rpc_deadline=30.0, lease_ttl=2.0,
+            heartbeat_interval=0.1, poll_interval=0.05,
+            checkpoint_every=120, grace=4.0,
+        )
+        result = run_matrix(_BENCH, ("base", _PRI), 4, _SPEC, farm=farm,
+                            retries=4)
+        killer.join(60)
+
+        assert state["killed"], "service was never SIGKILLed mid-sweep"
+        assert state["restarted"] is not None
+
+        # Exactly-once through the restart: bit-identical folds, every
+        # cell completed, nothing doubled.
+        for benchmark in plain_small:
+            for scheme in plain_small[benchmark]:
+                got = result[benchmark][scheme]
+                assert isinstance(got, SimStats), (benchmark, scheme, got)
+                assert got.to_dict() == \
+                    plain_small[benchmark][scheme].to_dict(), \
+                    (benchmark, scheme)
+        report = farm.report
+        assert report.completed == 4
+        assert report.failed == 0
+        assert report.divergent == 0
+        assert report.duplicates == 0
+
+        # Fencing tokens never regress across the crash: every token the
+        # restarted service issued is above everything issued before the
+        # kill, so no pre-kill zombie's token can ever be honored twice.
+        final = _get(url, "/ping")
+        assert final["fence"] >= state["prekill_fence"]
+        assert final["results"] >= 4
+    finally:
+        for server in (proc, state.get("restarted")):
+            if server is not None and server.poll() is None:
+                server.kill()
+                server.wait()

@@ -5,12 +5,21 @@ import os
 import pytest
 
 from repro.store import (
+    FSYNC_DIR_STATS,
     TMP_SUFFIX,
+    add_fsync_dir_hook,
     atomic_write_bytes,
     atomic_write_text,
     atomic_writer,
+    create_exclusive_bytes,
+    durable_replace,
+    fsync_dir,
     quarantine_path,
+    remove_file,
+    remove_fsync_dir_hook,
+    strict_fsync_dir,
 )
+from repro.store import atomic as atomic_mod
 
 
 def test_atomic_write_creates_and_replaces(tmp_path):
@@ -65,3 +74,97 @@ def test_quarantine_never_overwrites(tmp_path):
         dests.append(quarantine_path(path))
     assert len(set(dests)) == 3
     assert [open(d).read() for d in dests] == ["first", "second", "third"]
+
+
+# ------------------------------------------------------- new primitives
+
+
+def test_durable_replace_moves_and_survives(tmp_path):
+    src = str(tmp_path / "a.tmp")
+    dst = str(tmp_path / "a.json")
+    atomic_write_text(src, "payload")
+    durable_replace(src, dst)
+    assert not os.path.exists(src)
+    assert open(dst).read() == "payload"
+
+
+def test_create_exclusive_bytes_is_mutual_exclusion(tmp_path):
+    path = str(tmp_path / "c.lease")
+    assert create_exclusive_bytes(path, b"winner")
+    assert not create_exclusive_bytes(path, b"loser")
+    assert open(path, "rb").read() == b"winner"
+
+
+def test_remove_file_reports_presence(tmp_path):
+    path = str(tmp_path / "x")
+    atomic_write_text(path, "x")
+    assert remove_file(path)
+    assert not remove_file(path)
+    assert not os.path.exists(path)
+
+
+# ------------------------------------------- fsync_dir observability
+
+
+def test_fsync_dir_counts_successes(tmp_path):
+    FSYNC_DIR_STATS.reset()
+    assert fsync_dir(str(tmp_path))
+    assert (FSYNC_DIR_STATS.attempted, FSYNC_DIR_STATS.synced,
+            FSYNC_DIR_STATS.skipped) == (1, 1, 0)
+
+
+def test_fsync_dir_counts_and_reports_skips(tmp_path, monkeypatch):
+    FSYNC_DIR_STATS.reset()
+    calls = []
+
+    def hook(directory, exc):
+        calls.append((directory, exc))
+
+    def refused(fd):
+        raise OSError("directory fsync not supported")
+
+    monkeypatch.setattr(atomic_mod.os, "fsync", refused)
+    add_fsync_dir_hook(hook)
+    try:
+        assert not fsync_dir(str(tmp_path))
+    finally:
+        remove_fsync_dir_hook(hook)
+    assert FSYNC_DIR_STATS.skipped_fsync == 1
+    assert FSYNC_DIR_STATS.synced == 0
+    assert calls and calls[0][0] == str(tmp_path)
+    assert isinstance(calls[0][1], OSError)
+
+
+def test_strict_mode_raises_on_skip(tmp_path, monkeypatch):
+    def refused(fd):
+        raise OSError("nope")
+
+    monkeypatch.setattr(atomic_mod.os, "fsync", refused)
+    with strict_fsync_dir():
+        with pytest.raises(OSError):
+            fsync_dir(str(tmp_path))
+    # Outside the context the skip degrades gracefully again.
+    assert not fsync_dir(str(tmp_path))
+
+
+def test_strict_mode_restored_after_hook_exception(tmp_path, monkeypatch):
+    # strict_fsync_dir() must restore the previous setting even when the
+    # guarded block raises for unrelated reasons.
+    with pytest.raises(RuntimeError):
+        with strict_fsync_dir():
+            raise RuntimeError("unrelated")
+    FSYNC_DIR_STATS.reset()
+
+    def refused(fd):
+        raise OSError("nope")
+
+    monkeypatch.setattr(atomic_mod.os, "fsync", refused)
+    assert not fsync_dir(str(tmp_path))  # no raise: strict was restored
+
+
+def test_atomic_write_durable_syncs_directory(tmp_path):
+    FSYNC_DIR_STATS.reset()
+    atomic_write_text(str(tmp_path / "a.txt"), "x")
+    assert FSYNC_DIR_STATS.synced == 1
+    atomic_write_text(str(tmp_path / "b.txt"), "y", durable=False)
+    assert FSYNC_DIR_STATS.attempted == 1, "non-durable write must not fsync"

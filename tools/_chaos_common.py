@@ -1,0 +1,90 @@
+"""Shared scaffolding for the chaos-style CI gates.
+
+`ci_chaos_farm.py`, `ci_network_chaos.py`, and `ci_crash_consistency.py`
+all follow the same shape — run something adversarial, compare against
+a reference, fsck the debris, print FAIL lines, exit nonzero — and used
+to carry three hand-rolled copies of the comparison/gate/report loops.
+The helpers here are that shape, once:
+
+* :func:`compare_matrix` — cell-by-cell bit-identity of a farmed sweep
+  against its fault-free reference (lost and divergent cells);
+* :func:`check_report` — the universal farm-report invariants
+  (exactly-once completion, zero failed/divergent, optionally zero
+  duplicates and no cold restarts);
+* :func:`fsck_gate` — verify a root, print non-ok findings and the
+  summary, append a failure when anything is unrepaired;
+* :func:`report_failures` — print the FAIL lines (or the success
+  message) and turn them into an exit status.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def compare_matrix(tag: str, benchmarks: Sequence[str],
+                   schemes: Sequence[str], plain, farmed,
+                   failures: List[str]) -> None:
+    """Append a failure per lost or bit-divergent cell in ``farmed``."""
+    prefix = f"{tag}: " if tag else ""
+    for benchmark in benchmarks:
+        for scheme in schemes:
+            want = plain[benchmark][scheme]
+            got = farmed[benchmark].get(scheme)
+            if got is None or not hasattr(got, "to_dict"):
+                failures.append(
+                    f"{prefix}lost cell: {benchmark}/{scheme} -> {got!r}")
+            elif got.to_dict() != want.to_dict():
+                failures.append(
+                    f"{prefix}divergent cell: {benchmark}/{scheme}")
+
+
+def check_report(tag: str, report, failures: List[str], *,
+                 duplicates_allowed: bool = True,
+                 cold_restarts_allowed: bool = True) -> None:
+    """The invariants every farm run owes, whatever the chaos plan."""
+    prefix = f"{tag}: " if tag else ""
+    print(f"[{tag}] farm report: {report.to_dict()}" if tag
+          else f"farm report: {report.to_dict()}")
+    if report.completed != report.cells:
+        failures.append(
+            f"{prefix}completed {report.completed}/{report.cells} cells")
+    if report.failed:
+        failures.append(f"{prefix}{report.failed} cell(s) marked failed")
+    if report.divergent:
+        failures.append(
+            f"{prefix}{report.divergent} divergent duplicate(s): "
+            f"{report.divergent_keys}")
+    if not duplicates_allowed and report.duplicates:
+        failures.append(f"{prefix}{report.duplicates} duplicate fold(s)")
+    if not cold_restarts_allowed and report.cold_restarts:
+        failures.append(
+            f"{prefix}{report.cold_restarts} cell(s) restarted from cycle "
+            "0 despite an existing checkpoint")
+
+
+def fsck_gate(root: str, failures: List[str],
+              tag: Optional[str] = None) -> None:
+    """Verify ``root``; print the non-ok findings and the summary, and
+    append one failure when unrepaired damage remains."""
+    from repro.store.fsck import fsck_tree
+
+    report = fsck_tree(root)
+    for finding in report.findings:
+        if finding.status != "ok":
+            print(finding)
+    print(f"[{tag}] {report.summary()}" if tag else report.summary())
+    if report.unrepaired:
+        where = f" on {tag}" if tag else ""
+        failures.append(
+            f"{tag + ': ' if tag else ''}fsck: {len(report.unrepaired)} "
+            f"unrepaired problem(s){where}")
+
+
+def report_failures(failures: List[str], success_message: str) -> int:
+    """Print ``FAIL:`` lines (or the success message); 1 iff any."""
+    for line in failures:
+        print(f"FAIL: {line}")
+    if not failures:
+        print(success_message)
+    return 1 if failures else 0

@@ -27,6 +27,13 @@ from __future__ import annotations
 
 import sys
 
+from _chaos_common import (
+    check_report,
+    compare_matrix,
+    fsck_gate,
+    report_failures,
+)
+
 BENCHMARKS = ("gcc", "mesa")
 SCHEMES = ("base", "ER", "PRI-refcount+ckptcount")
 INJECT = (
@@ -56,55 +63,25 @@ def main(argv=None) -> int:
           + ", ".join(p.split(":", 1)[0] for p in INJECT))
     farmed = run_matrix(BENCHMARKS, SCHEMES, 4, spec, farm=farm, retries=4)
     report = farm.report
-    print(f"farm report: {report.to_dict()}")
 
-    failures = []
-    for benchmark in BENCHMARKS:
-        for scheme in SCHEMES:
-            want = plain[benchmark][scheme]
-            got = farmed[benchmark].get(scheme)
-            if got is None or not hasattr(got, "to_dict"):
-                failures.append(f"lost cell: {benchmark}/{scheme} -> {got!r}")
-            elif got.to_dict() != want.to_dict():
-                failures.append(f"divergent cell: {benchmark}/{scheme}")
-    if report.completed != report.cells:
-        failures.append(
-            f"completed {report.completed}/{report.cells} cells"
-        )
-    if report.failed:
-        failures.append(f"{report.failed} cell(s) marked failed")
-    if report.divergent:
-        failures.append(
-            f"{report.divergent} divergent duplicate(s): "
-            f"{report.divergent_keys}"
-        )
-    if report.cold_restarts:
-        failures.append(
-            f"{report.cold_restarts} cell(s) restarted from cycle 0 "
-            "despite an existing checkpoint"
-        )
+    failures: list = []
+    compare_matrix("", BENCHMARKS, SCHEMES, plain, farmed, failures)
+    # On the filesystem backend a zombie's bit-identical duplicate is
+    # allowed on disk (the broker verifies and drops it at fold time),
+    # but a cold restart past an existing checkpoint is not.
+    check_report("", report, failures, duplicates_allowed=True,
+                 cold_restarts_allowed=False)
     if report.reclaims + report.evictions < 2:
         failures.append(
             "chaos did not bite: expected at least two reclaims/evictions, "
             f"got reclaims={report.reclaims} evictions={report.evictions}"
         )
+    fsck_gate(root, failures)
 
-    from repro.store.fsck import fsck_tree
-
-    fsck = fsck_tree(root)
-    for finding in fsck.findings:
-        if finding.status != "ok":
-            print(finding)
-    print(fsck.summary())
-    if fsck.unrepaired:
-        failures.append(f"fsck: {len(fsck.unrepaired)} unrepaired problem(s)")
-
-    for line in failures:
-        print(f"FAIL: {line}")
-    if not failures:
-        print("chaos invariants hold: exactly-once completion, zero lost "
-              "work, resume-not-restart, clean fsck")
-    return 1 if failures else 0
+    return report_failures(
+        failures,
+        "chaos invariants hold: exactly-once completion, zero lost "
+        "work, resume-not-restart, clean fsck")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,13 @@ from __future__ import annotations
 import os
 import sys
 
+from _chaos_common import (
+    check_report,
+    compare_matrix,
+    fsck_gate,
+    report_failures,
+)
+
 BENCHMARKS = ("gcc", "mesa")
 SCHEMES = ("base", "ER", "PRI-refcount+ckptcount")
 INJECT = (
@@ -41,34 +48,6 @@ INJECT = (
     "net-stale:worker=0:op=heartbeat:seq=3:count=1",      # proxy replay
 )
 PARTITION = ("net-drop:worker=0:op=heartbeat:seq=2:count=100000",)
-
-
-def _check_run(tag, farm, farmed, plain, failures, *, partition=False):
-    report = farm.report
-    print(f"[{tag}] farm report: {report.to_dict()}")
-    for benchmark in BENCHMARKS:
-        for scheme in SCHEMES:
-            want = plain[benchmark][scheme]
-            got = farmed[benchmark].get(scheme)
-            if got is None or not hasattr(got, "to_dict"):
-                failures.append(f"{tag}: lost cell {benchmark}/{scheme} "
-                                f"-> {got!r}")
-            elif got.to_dict() != want.to_dict():
-                failures.append(f"{tag}: divergent cell {benchmark}/{scheme}")
-    if report.completed != report.cells:
-        failures.append(f"{tag}: completed {report.completed}/{report.cells}")
-    if report.failed:
-        failures.append(f"{tag}: {report.failed} cell(s) marked failed")
-    if report.divergent:
-        failures.append(f"{tag}: {report.divergent} divergent duplicate(s)")
-    if report.duplicates:
-        # Over HTTP the fence rejects zombie completions at the door:
-        # not even a bit-identical duplicate should reach the folder.
-        failures.append(f"{tag}: {report.duplicates} duplicate fold(s)")
-    if partition and report.respawns < 1:
-        failures.append(f"{tag}: partitioned worker was never respawned")
-    if partition and report.reclaims < 1:
-        failures.append(f"{tag}: partitioned cell was never reclaimed")
 
 
 def main(argv=None) -> int:
@@ -106,28 +85,22 @@ def main(argv=None) -> int:
                                 retries=4)
         finally:
             server.stop()
-        _check_run(tag, farm, farmed, plain, failures,
-                   partition=(tag == "partition"))
+        compare_matrix(tag, BENCHMARKS, SCHEMES, plain, farmed, failures)
+        check_report(tag, farm.report, failures, duplicates_allowed=False)
+        if tag == "partition":
+            if farm.report.respawns < 1:
+                failures.append(
+                    f"{tag}: partitioned worker was never respawned")
+            if farm.report.reclaims < 1:
+                failures.append(
+                    f"{tag}: partitioned cell was never reclaimed")
+        fsck_gate(server_root, failures, tag=tag)
 
-        from repro.store.fsck import fsck_tree
-
-        fsck = fsck_tree(server_root)
-        for finding in fsck.findings:
-            if finding.status != "ok":
-                print(finding)
-        print(f"[{tag}] {fsck.summary()}")
-        if fsck.unrepaired:
-            failures.append(
-                f"{tag}: fsck found {len(fsck.unrepaired)} unrepaired "
-                "problem(s) on the server root")
-
-    for line in failures:
-        print(f"FAIL: {line}")
-    if not failures:
-        print("network-chaos invariants hold: bit-identical folds on a "
-              "clean and a faulty wire, exactly-once aggregation, "
-              "graceful degradation under partition, clean fsck")
-    return 1 if failures else 0
+    return report_failures(
+        failures,
+        "network-chaos invariants hold: bit-identical folds on a "
+        "clean and a faulty wire, exactly-once aggregation, "
+        "graceful degradation under partition, clean fsck")
 
 
 if __name__ == "__main__":
