@@ -30,6 +30,11 @@ server-fence        the service's fencing-token counter never
 journal-archive     once an incompatible journal is archived (the
                     caller told where), the backup exists with the
                     original bytes and the old journal cannot resurrect
+serve-jobs          an acked submission (``queued`` journaled) survives
+                    any crash; a ``done`` line implies a readable,
+                    bit-identical cache entry (cache is written and
+                    fsynced strictly first); service recovery
+                    terminates on every crash image
 =================== ==================================================
 """
 
@@ -411,6 +416,124 @@ class _ServerFence:
                 key = (op.info["cid"], op.info["attempt"], op.info["worker"])
                 if key not in state._result_keys:
                     problems.append(f"acked completion {key} lost")
+        return problems
+
+
+# ============================================================= serve-jobs
+
+_SERVE_SPEC = {"benchmark": "gzip", "length": 500, "warmup": 1000}
+_SERVE_STATS = {"cycles": 1234, "committed": 500}
+_SERVE_COST = {"backend": "scalar", "cycles": 1234, "instructions": 500,
+               "wall_seconds": 0.01, "batch_jobs": 1}
+
+
+@_register("serve-jobs",
+           "simulation service: job journal transitions + result-cache "
+           "entry in the server's exact write order (cache durable "
+           "before the done line); one job completes, one stays queued, "
+           "one fails")
+class _ServeJobs:
+    @staticmethod
+    def run(root: str, ack: Callable) -> None:
+        from repro.serve.cache import ResultCache
+        from repro.serve.jobs import JobJournal
+
+        journal = JobJournal(os.path.join(root, "jobs.json"))
+        cache = ResultCache(os.path.join(root, "cache"))
+
+        def transition(jid: str, key: str, state: str, *,
+                       durable: bool = True, **extra) -> None:
+            journal.record({"id": jid, "key": key, "state": state,
+                            "ts": 0.0, "spec": dict(_SERVE_SPEC), **extra},
+                           durable=durable)
+
+        # Job 1: the full happy path, in the server's write order —
+        # the cache entry is durable strictly before the done line.
+        j1, k1 = cid_of("serve-k1"), "serve-k1"
+        transition(j1, k1, "queued")
+        ack("queued-j1", id=j1, key=k1)
+        transition(j1, k1, "running", durable=False)
+        cache.put(k1, dict(_SERVE_STATS), dict(_SERVE_COST))
+        ack("entry-j1", id=j1, key=k1)
+        transition(j1, k1, "done", cost=dict(_SERVE_COST))
+        ack("done-j1", id=j1, key=k1)
+        # Job 2: acked, still queued at the crash — must be re-enqueued,
+        # never lost.
+        j2, k2 = cid_of("serve-k2"), "serve-k2"
+        transition(j2, k2, "queued")
+        ack("queued-j2", id=j2, key=k2)
+        # Job 3: simulation failed after ack.
+        j3, k3 = cid_of("serve-k3"), "serve-k3"
+        transition(j3, k3, "queued")
+        ack("queued-j3", id=j3, key=k3)
+        transition(j3, k3, "running", durable=False)
+        transition(j3, k3, "failed",
+                   error={"error_type": "SimulationError",
+                          "message": "injected"})
+        ack("failed-j3", id=j3, key=k3)
+
+    @staticmethod
+    def recover(root: str) -> None:
+        from repro.serve.jobs import JobJournal
+        from repro.serve.server import ServeState
+
+        path = os.path.join(root, "jobs.json")
+        if os.path.exists(path):
+            try:
+                JobJournal(path)
+            except (DigestMismatch, MalformedRecord):
+                _store_repair(root)
+        # Full service recovery must terminate on every crash image and
+        # rebuild a servable state (re-queueing what never finished).
+        ServeState(root)
+        _store_repair(root)
+
+    @staticmethod
+    def check(root: str, acked: List[Op]) -> List[str]:
+        from repro.serve.cache import ResultCache
+        from repro.serve.jobs import JobJournal
+
+        problems: List[str] = []
+        path = os.path.join(root, "jobs.json")
+        if not os.path.exists(path):
+            if acked:
+                problems.append("job journal lost with acked transitions")
+            return problems
+        try:
+            journal = JobJournal(path)
+        except Exception as exc:  # noqa: BLE001 — any raise here is the bug
+            return [f"job journal unloadable after recovery: {exc}"]
+        latest = journal.latest()
+        cache = ResultCache(os.path.join(root, "cache"))
+        for op in acked:
+            jid, key = op.info["id"], op.info["key"]
+            if op.label.startswith("queued-") and jid not in latest:
+                problems.append(f"acked submission {jid} lost from journal")
+            elif op.label.startswith("entry-"):
+                entry = cache.get(key)
+                if entry is None:
+                    problems.append(f"acked cache entry {key} lost")
+                elif entry.stats != _SERVE_STATS:
+                    problems.append(f"acked cache entry {key} mutated")
+            elif op.label.startswith("done-"):
+                record = latest.get(jid)
+                if record is None or record["state"] != "done":
+                    problems.append(
+                        f"acked done transition for {jid} lost "
+                        f"(recovered state: "
+                        f"{record['state'] if record else 'missing'})")
+            elif op.label.startswith("failed-"):
+                record = latest.get(jid)
+                if record is None or record["state"] != "failed":
+                    problems.append(
+                        f"acked failed transition for {jid} lost")
+        # Cross-layer write-order invariant, acked or not: a journaled
+        # ``done`` implies its cache entry was already durable.
+        for jid, record in latest.items():
+            if record["state"] == "done" and cache.get(record["key"]) is None:
+                problems.append(
+                    f"journal says {jid} is done but its cache entry is "
+                    f"unreadable — the cache-before-done ordering broke")
         return problems
 
 

@@ -5,6 +5,7 @@
     python -m repro.perf bench                          # BENCH_<date>.json
     python -m repro.perf bench --out bench.json --rounds 7
     python -m repro.perf compare BASELINE CURRENT --threshold 15%
+    python -m repro.perf latest-baseline benchmarks     # newest by date
 
 Exit status: 0 on success / no regression, 1 on a regression or an
 unreadable artifact, 2 on usage errors.
@@ -19,6 +20,7 @@ from typing import Optional, Sequence
 from repro.perf.bench import (
     DEFAULT_ROUNDS,
     default_bench_path,
+    latest_baseline,
     read_bench,
     run_bench,
     write_bench,
@@ -71,7 +73,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "dimension is a typed error",
     )
 
+    latest = sub.add_parser(
+        "latest-baseline",
+        help="print the newest readable BENCH_*.json by recorded date "
+             "(replaces the 'ls | sort | tail -1' shell idiom)",
+    )
+    latest.add_argument(
+        "directory", nargs="?", default="benchmarks",
+        help="directory holding BENCH_*.json artifacts (default: "
+             "benchmarks)",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "latest-baseline":
+        path = latest_baseline(args.directory)
+        if path is None:
+            print(f"perf latest-baseline: no readable BENCH_*.json in "
+                  f"{args.directory!r}", file=sys.stderr)
+            return 1
+        print(path)
+        return 0
 
     if args.command == "bench":
         payload = run_bench(rounds=args.rounds)

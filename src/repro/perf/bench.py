@@ -34,6 +34,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.config import four_wide
 from repro.core.machine import Machine
 from repro.store import (
+    ArtifactError,
     ArtifactMeta,
     SchemaMismatch,
     read_json_artifact,
@@ -218,6 +219,36 @@ def default_bench_path(directory: str = ".") -> str:
     return os.path.join(
         directory, f"BENCH_{datetime.date.today().isoformat()}.json"
     )
+
+
+def latest_baseline(directory: str) -> Optional[str]:
+    """The newest readable ``BENCH_*.json`` in ``directory``, by the
+    payload's recorded ``created`` date (filename as the tiebreak), or
+    None when the directory holds no readable bench artifact.
+
+    This replaces the shell's ``ls | sort | tail -1``, which silently
+    picks the wrong baseline the moment two files share a date suffix
+    variant or names stop sorting chronologically — the *payload* date
+    is the authoritative recency, and unreadable artifacts are skipped
+    instead of crashing the comparison."""
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return None
+    best: Optional[Tuple[str, str, str]] = None
+    for name in names:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            payload, _ = read_bench(path)
+        except (ArtifactError, OSError):
+            continue  # damaged or foreign: never a baseline
+        created = str(payload.get("created", ""))
+        candidate = (created, name, path)
+        if best is None or candidate > best:
+            best = candidate
+    return best[2] if best else None
 
 
 def write_bench(path: str, payload: Dict[str, Any]) -> None:

@@ -207,18 +207,53 @@ def _verify_journal_records(path: str, records) -> None:
             )
 
 
+def _verify_job_records(path: str, records) -> None:
+    """Semantic validation of a digest-clean serve job journal: every
+    record after the header must wrap a job transition carrying the
+    required fields and a known state."""
+    from repro.serve.jobs import JOB_FIELDS, JOB_STATES
+
+    for index, record in enumerate(records[1:], start=2):
+        if not isinstance(record, dict) or not isinstance(
+                record.get("job"), dict):
+            raise ArtifactError(
+                "job journal record lacks a job object", path=path,
+                kind="serve-job-journal", line=index,
+            )
+        job = record["job"]
+        missing = [f for f in JOB_FIELDS if f not in job]
+        if missing:
+            raise ArtifactError(
+                f"job record lacks fields {missing}", path=path,
+                kind="serve-job-journal", line=index,
+            )
+        if job["state"] not in JOB_STATES:
+            raise ArtifactError(
+                f"job record has unknown state {job['state']!r}",
+                path=path, kind="serve-job-journal", line=index,
+            )
+
+
 def _verify_checked_lines(path: str, finding: Finding) -> None:
-    """An append-style checksummed-line file (the sweep journal)."""
+    """An append-style checksummed-line file (the sweep journal or the
+    serve job journal — told apart by their header ``format`` tags)."""
     from repro.experiments.journal import JOURNAL_FORMAT
+    from repro.serve.jobs import JOBS_FORMAT
 
     result = read_checked_lines(path)
     header = result.records[0] if result.records else None
-    if isinstance(header, dict) and header.get("format") == JOURNAL_FORMAT:
+    header_format = header.get("format") if isinstance(header, dict) else None
+    if header_format == JOURNAL_FORMAT:
         finding.kind = "sweep-journal"
+    elif header_format == JOBS_FORMAT:
+        finding.kind = "serve-job-journal"
     else:
         finding.kind = "checked-lines"
     if result.clean and finding.kind == "sweep-journal":
         _verify_journal_records(path, result.records)
+        return
+    if result.clean and finding.kind == "serve-job-journal":
+        _verify_job_records(path, result.records)
         return
     if result.clean:
         raise ArtifactError(

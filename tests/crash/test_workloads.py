@@ -16,6 +16,7 @@ EXPECTED = {
     "farm-lease",
     "journal-append",
     "journal-archive",
+    "serve-jobs",
     "server-fence",
     "snapshot-checkpoint",
     "store-envelope",

@@ -1,0 +1,100 @@
+"""Result cache: addressing, durability, corruption healing, GC."""
+
+import os
+
+import pytest
+
+from repro.serve.cache import CacheEntry, ResultCache, cache_address
+
+STATS = {"cycles": 1000, "committed": 400}
+COST = {"backend": "scalar", "cycles": 1000, "instructions": 400,
+        "wall_seconds": 0.1, "batch_jobs": 1}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def test_miss_then_hit(cache):
+    assert cache.get("k1") is None
+    cache.put("k1", STATS, COST)
+    entry = cache.get("k1")
+    assert isinstance(entry, CacheEntry)
+    assert entry.stats == STATS
+    assert entry.cost == COST
+    assert cache.has("k1")
+    assert len(cache) == 1
+
+
+def test_address_is_stable_and_filename_safe():
+    addr = cache_address("gzip|base|w4|n6000|u20000|s1|c0|a0|deadbeef")
+    assert addr == cache_address("gzip|base|w4|n6000|u20000|s1|c0|a0|deadbeef")
+    assert len(addr) == 32
+    assert all(c in "0123456789abcdef" for c in addr)
+
+
+def test_distinct_keys_distinct_entries(cache):
+    cache.put("k1", STATS, COST)
+    cache.put("k2", {"cycles": 2}, COST)
+    assert cache.get("k1").stats == STATS
+    assert cache.get("k2").stats == {"cycles": 2}
+    assert len(cache) == 2
+
+
+def test_overwrite_replaces(cache):
+    cache.put("k1", STATS, COST)
+    cache.put("k1", {"cycles": 7}, COST)
+    assert cache.get("k1").stats == {"cycles": 7}
+    assert len(cache) == 1
+
+
+def test_corrupt_entry_is_quarantined_miss(cache):
+    cache.put("k1", STATS, COST)
+    path = cache.path_for("k1")
+    with open(path, "r+b") as fh:
+        fh.seek(os.path.getsize(path) // 2)
+        fh.write(b"XXXX")
+    assert cache.get("k1") is None  # miss, not an exception
+    assert not os.path.exists(path)  # quarantined away
+    # The cache heals: a fresh put serves again.
+    cache.put("k1", STATS, COST)
+    assert cache.get("k1").stats == STATS
+
+
+def test_key_collision_never_served(cache):
+    cache.put("k1", STATS, COST)
+    # Simulate a misfiled entry: k2's address holding k1's payload.
+    os.replace(cache.path_for("k1"), cache.path_for("other-key"))
+    assert cache.get("other-key") is None
+    assert os.path.exists(cache.path_for("other-key"))  # intact: kept
+
+
+def test_gc_max_entries_keeps_newest(cache, monkeypatch):
+    now = [1000.0]
+    monkeypatch.setattr("repro.serve.cache.time.time", lambda: now[0])
+    for i in range(5):
+        now[0] += 10
+        cache.put(f"k{i}", {"i": i}, COST)
+    removed = cache.gc(max_entries=2)
+    assert removed == 3
+    assert not cache.has("k0") and not cache.has("k2")
+    assert cache.has("k3") and cache.has("k4")
+
+
+def test_gc_max_age(cache, monkeypatch):
+    now = [1000.0]
+    monkeypatch.setattr("repro.serve.cache.time.time", lambda: now[0])
+    cache.put("old", STATS, COST)
+    now[0] += 500
+    cache.put("new", STATS, COST)
+    now[0] += 10
+    assert cache.gc(max_age=100) == 1
+    assert not cache.has("old")
+    assert cache.has("new")
+
+
+def test_gc_noop_without_bounds(cache):
+    cache.put("k1", STATS, COST)
+    assert cache.gc() == 0
+    assert cache.has("k1")

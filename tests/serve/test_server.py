@@ -1,0 +1,200 @@
+"""The service end to end: cache hits, dedup, long-poll, restart."""
+
+import threading
+
+import pytest
+
+from repro.serve import ServeClient, ServeRequestError, ServeServer
+
+JOB = {"benchmark": "gzip", "scheme": "base", "width": 4,
+       "length": 800, "warmup": 1500, "seed": 3}
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ServeServer(str(tmp_path / "serve"), backend="scalar",
+                      batch_window=0.02).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url, timeout=10.0)
+
+
+def _run(client, job=JOB, timeout=60.0):
+    response = client.submit(dict(job))
+    if response["state"] not in ("done", "failed"):
+        return client.wait(response["id"], timeout=timeout)
+    return client.status(response["id"])
+
+
+def test_submit_wait_result(client):
+    record = _run(client)
+    assert record["state"] == "done"
+    result = client.result(record["id"])
+    assert result["stats"]["committed"] == JOB["length"]
+    assert result["cost"]["backend"] == "scalar"
+
+
+def test_second_submission_is_cache_hit(client):
+    first = _run(client)
+    again = client.submit(dict(JOB))
+    assert again["id"] == first["id"]
+    assert again["state"] == "done"
+    assert again.get("cached") == 1
+    assert (client.result(again["id"])["stats"]
+            == client.result(first["id"])["stats"])
+    metrics = client.metrics()
+    assert metrics["simulations"] == 1
+    assert metrics["cache_hits"] == 1
+
+
+def test_concurrent_duplicates_one_simulation(client):
+    ids = []
+
+    def submit():
+        ids.append(client.submit(dict(JOB))["id"])
+
+    threads = [threading.Thread(target=submit) for _ in range(5)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(set(ids)) == 1
+    client.wait(ids[0], timeout=60)
+    metrics = client.metrics()
+    assert metrics["simulations"] == 1
+    assert metrics["inflight_dedup"] + metrics["cache_hits"] == 4
+
+
+def test_distinct_jobs_distinct_results(client):
+    a = _run(client)
+    b = _run(client, {**JOB, "scheme": "PRI-refcount+lazy"})
+    assert a["id"] != b["id"]
+    stats_a = client.result(a["id"])["stats"]
+    stats_b = client.result(b["id"])["stats"]
+    assert stats_a["cycles"] != stats_b["cycles"]
+
+
+def test_bad_submissions_are_400(client):
+    with pytest.raises(ServeRequestError):
+        client.submit({"benchmark": "nope"})
+    with pytest.raises(ServeRequestError):
+        client.submit({"benchmark": "gzip", "width": 5})
+    # A 400 must not poison the service.
+    assert _run(client)["state"] == "done"
+
+
+def test_unknown_job_id_is_404(client):
+    with pytest.raises(ServeRequestError) as exc:
+        client.status("no-such-id")
+    assert exc.value.status == 404
+
+
+def test_rid_replay_answers_from_cache(client):
+    response = client._post("/submit", {"job": dict(JOB), "rid": "fixed"})
+    replay = client._post("/submit", {"job": dict(JOB), "rid": "fixed"})
+    assert replay["id"] == response["id"]
+    assert replay.get("replayed") == 1
+    assert client.metrics()["submissions"] == 1
+
+
+def test_metrics_and_cost_accounting(client):
+    _run(client)
+    metrics = client.metrics()
+    assert metrics["backend"] == "scalar"
+    assert metrics["cycles_simulated"] > 0
+    assert metrics["instructions_committed"] == JOB["length"]
+    assert metrics["sim_wall_seconds"] > 0
+    assert metrics["cache_entries"] == 1
+    assert metrics["jobs_done"] == 1
+
+
+def test_gc_endpoint(client):
+    _run(client)
+    _run(client, {**JOB, "seed": 11})
+    response = client.gc(max_entries=1)
+    assert response["removed"] == 1
+    assert response["entries"] == 1
+
+
+def test_restart_resumes_queued_jobs(tmp_path):
+    root = str(tmp_path / "serve")
+    # Queue with a huge batch window so nothing executes before "crash".
+    srv = ServeServer(root, backend="scalar", batch_window=30.0).start()
+    client = ServeClient(srv.url)
+    acked = [client.submit(dict(JOB))["id"],
+             client.submit({**JOB, "seed": 5})["id"]]
+    # SIGKILL equivalent: drop the process state without draining.
+    srv.httpd.shutdown()
+    srv.httpd.server_close()
+
+    srv2 = ServeServer(root, backend="scalar", batch_window=0.02).start()
+    try:
+        client2 = ServeClient(srv2.url)
+        assert srv2.state.metrics["recovered_jobs"] == 2
+        for job_id in acked:
+            assert client2.wait(job_id, timeout=60)["state"] == "done"
+    finally:
+        srv2.stop()
+
+
+def test_restart_answers_done_jobs_from_cache(tmp_path):
+    root = str(tmp_path / "serve")
+    srv = ServeServer(root, backend="scalar", batch_window=0.02).start()
+    client = ServeClient(srv.url)
+    first = _run(client)
+    stats = client.result(first["id"])["stats"]
+    srv.stop()
+
+    srv2 = ServeServer(root, backend="scalar", batch_window=0.02).start()
+    try:
+        client2 = ServeClient(srv2.url)
+        again = client2.submit(dict(JOB))
+        assert again["state"] == "done"
+        assert client2.result(again["id"])["stats"] == stats
+        assert client2.metrics()["simulations"] == 0
+    finally:
+        srv2.stop()
+
+
+def test_vector_backend_bit_identical_to_scalar(tmp_path):
+    pytest.importorskip("numpy")
+    scalar = ServeServer(str(tmp_path / "a"), backend="scalar",
+                         batch_window=0.02).start()
+    vector = ServeServer(str(tmp_path / "b"), backend="vector",
+                         batch_window=0.1).start()
+    try:
+        sweep = [{**JOB, "scheme": "PRI-refcount+lazy", "regs": r}
+                 for r in (48, 64)]
+        sc, vc = ServeClient(scalar.url), ServeClient(vector.url)
+        scalar_stats = [sc.result(_run(sc, j)["id"])["stats"]
+                        for j in sweep]
+        vector_ids = [vc.submit(dict(j))["id"] for j in sweep]
+        vector_stats = [vc.result(vc.wait(i, timeout=60)["id"])["stats"]
+                        for i in vector_ids]
+        assert scalar_stats == vector_stats
+    finally:
+        scalar.stop()
+        vector.stop()
+
+
+def test_failed_job_reports_and_can_retry(tmp_path):
+    root = str(tmp_path / "serve")
+    srv = ServeServer(root, backend="scalar", batch_window=0.02).start()
+    try:
+        client = ServeClient(srv.url)
+        # An impossibly tight cycle limit: the watchdog fails the job.
+        doomed = {**JOB, "max_cycles": 10}
+        record = _run(client, doomed)
+        assert record["state"] == "failed"
+        assert record["error"]["error_type"] == "SimulationError"
+        assert client.metrics()["jobs_failed"] == 1
+        # A failed id is terminal but resubmittable: it re-queues.
+        retry = client.submit(dict(doomed))
+        assert retry["state"] == "queued"
+        assert client.wait(retry["id"], timeout=60)["state"] == "failed"
+    finally:
+        srv.stop()
